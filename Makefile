@@ -1,0 +1,35 @@
+# Developer conveniences. Everything is plain pytest underneath.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-report examples reproduce all clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Prints the paper-table reports while running and refreshes benchmarks/out/.
+bench-report:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done
+	@echo "all examples ran"
+
+# The readable one-shot paper reproduction tour.
+reproduce:
+	$(PYTHON) examples/reproduce_paper.py
+
+all: test bench examples
+
+clean:
+	rm -rf .pytest_cache .benchmarks benchmarks/out
+	find . -name __pycache__ -type d -exec rm -rf {} +

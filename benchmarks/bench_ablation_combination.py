@@ -1,0 +1,67 @@
+"""Ablation — multi-meta-path combination modes (paper §5.1's open choice).
+
+Section 5.1: "Finding outliers given a collection of weighted feature
+meta-paths can be done in a number of ways.  The connectivity between
+vertices can be redefined, or independent outlier scores can be computed
+considering each feature meta-path independently and then averaged.  We
+leave the problem of determining the best method to a future study."
+
+This bench runs that future study at small scale: the three candidate
+methods (score averaging, rank averaging, combined connectivity) on the
+paper's two-path query (venues + coauthors), measuring planted-outlier
+recovery and cost.
+"""
+
+import pytest
+
+from repro.engine.detector import OutlierDetector
+from repro.engine.executor import QueryExecutor
+from repro.engine.strategies import PMStrategy
+
+QUERY = (
+    'FIND OUTLIERS FROM author{"Prof. Hub"}.paper.author '
+    "JUDGED BY author.paper.venue, author.paper.author TOP 10;"
+)
+
+
+@pytest.mark.parametrize("mode", QueryExecutor.COMBINE_MODES)
+def test_combination_timing(benchmark, bench_network, mode):
+    benchmark.group = "ablation-combination"
+    detector = OutlierDetector(bench_network, strategy="pm", combine=mode)
+    result = benchmark(detector.detect, QUERY)
+    assert len(result) == 10
+
+
+def test_combination_report(benchmark, bench_corpus, bench_network, report):
+    planted = set(bench_corpus.cross_field) | set(bench_corpus.students)
+
+    def run_all():
+        results = {}
+        for mode in QueryExecutor.COMBINE_MODES:
+            detector = OutlierDetector(bench_network, strategy="pm", combine=mode)
+            results[mode] = detector.detect(QUERY)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        "multi-meta-path combination (venues + coauthors, top-10)",
+        "",
+        f"{'mode':>13} {'planted recovered':>18}   top-5",
+    ]
+    recovery = {}
+    for mode, result in results.items():
+        names = result.names()
+        recovered = len(set(names) & planted)
+        recovery[mode] = recovered
+        lines.append(f"{mode:>13} {recovered:>15d}/10   {names[:5]}")
+    lines.append("")
+    lines.append(
+        "the paper leaves the choice open (§5.1); all three surface the "
+        "planted outliers, with rank averaging immune to per-path scale "
+        "differences and combined connectivity cheapest (one scoring pass)"
+    )
+    report("ablation_combination", "\n".join(lines))
+
+    for mode, recovered in recovery.items():
+        assert recovered >= 5, f"{mode} lost the planted outliers"

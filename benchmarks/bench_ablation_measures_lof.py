@@ -1,0 +1,115 @@
+"""Ablation — NetOut vs classical detectors (LOF, kNN-distance) on the
+planted ego outliers.
+
+Section 8 of the paper reports that substituting classical algorithms such
+as LOF "cannot produce better results than NetOut" for its queries.  We
+replay that comparison: each detector scores the hub's coauthors by their
+venue neighbor vectors, and we measure precision@10 against the planted
+ground truth (cross-field authors + students = 10 true outliers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cdoutlier import community_distribution_outliers
+from repro.baselines.knn_outlier import knn_distance_scores
+from repro.baselines.lof import local_outlier_factor
+from repro.core.measures import NetOutMeasure
+from repro.engine.evaluator import SetEvaluator
+from repro.engine.strategies import PMStrategy
+from repro.metapath.metapath import MetaPath
+from repro.query.parser import parse_set_expression
+
+PV = MetaPath.parse("author.paper.venue")
+
+
+@pytest.fixture(scope="module")
+def candidate_data(bench_corpus):
+    network = bench_corpus.network
+    strategy = PMStrategy(network)
+    evaluator = SetEvaluator(strategy)
+    __, members = evaluator.evaluate(
+        parse_set_expression('author{"Prof. Hub"}.paper.author')
+    )
+    phi = strategy.neighbor_matrix(PV, members)
+    names = network.vertex_names("author")
+    member_names = [names[i] for i in members]
+    truth = set(bench_corpus.cross_field) | set(bench_corpus.students)
+    return phi, member_names, truth
+
+
+def _precision_at(k, ordered_names, truth):
+    return len(set(ordered_names[:k]) & truth) / k
+
+
+@pytest.mark.parametrize("method", ["netout", "lof", "knn", "cdoutlier"])
+def test_detector_timing(benchmark, candidate_data, method):
+    phi, __, __ = candidate_data
+    benchmark.group = "ablation-detectors"
+    dense = np.asarray(phi.todense())
+    if method == "netout":
+        benchmark(NetOutMeasure().score, phi, phi)
+    elif method == "lof":
+        benchmark(local_outlier_factor, dense, 10)
+    elif method == "cdoutlier":
+        benchmark.pedantic(
+            community_distribution_outliers,
+            args=(dense,),
+            kwargs={"communities": 4, "patterns": 3, "seed": 0},
+            rounds=1,
+            iterations=1,
+        )
+    else:
+        benchmark(knn_distance_scores, dense, 10)
+
+
+def test_detector_quality_report(benchmark, candidate_data, report):
+    phi, member_names, truth = candidate_data
+    dense = np.asarray(phi.todense())
+
+    def run_all():
+        netout = NetOutMeasure().score(phi, phi)
+        lof = local_outlier_factor(dense, min_pts=10)
+        knn = knn_distance_scores(dense, k=10)
+        cd = community_distribution_outliers(
+            dense, communities=4, patterns=3, seed=0
+        ).scores
+        return netout, lof, knn, cd
+
+    netout, lof, knn, cd = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # NetOut: ascending (low = outlier); the rest: descending.
+    by_netout = [member_names[i] for i in np.argsort(netout)]
+    by_lof = [member_names[i] for i in np.argsort(-lof)]
+    by_knn = [member_names[i] for i in np.argsort(-knn)]
+    by_cd = [member_names[i] for i in np.argsort(-cd)]
+
+    rows = [
+        ("NetOut", by_netout),
+        ("LOF", by_lof),
+        ("kNN-dist", by_knn),
+        ("CDOutlier", by_cd),
+    ]
+    lines = [
+        f"planted-outlier recovery among {len(member_names)} hub coauthors "
+        f"({len(truth)} planted outliers)",
+        "",
+        f"{'method':>9} {'P@5':>6} {'P@10':>6}   top-5",
+    ]
+    precisions = {}
+    for label, ordered in rows:
+        p5 = _precision_at(5, ordered, truth)
+        p10 = _precision_at(10, ordered, truth)
+        precisions[label] = p10
+        lines.append(f"{label:>9} {p5:>6.2f} {p10:>6.2f}   {ordered[:5]}")
+    lines.append("")
+    lines.append(
+        "paper's claim (§8): classical detectors (e.g. LOF) do not produce "
+        "better results than NetOut on query-based HIN outliers"
+    )
+    report("ablation_measures_lof", "\n".join(lines))
+
+    assert precisions["NetOut"] >= precisions["LOF"]
+    assert precisions["NetOut"] >= precisions["kNN-dist"]
+    assert precisions["NetOut"] >= precisions["CDOutlier"]
+    assert precisions["NetOut"] >= 0.8

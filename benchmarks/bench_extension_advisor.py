@@ -1,0 +1,71 @@
+"""Extension bench (paper §8) — query suggestion quality and cost.
+
+Section 8: the system "might even be able to suggest how the users can
+modify their queries to get more interesting, or more unusual, outliers."
+The advisor enumerates alternative feature meta-paths and ranks them by the
+separation of the resulting Ω distribution.  On the planted ego corpus the
+ground truth is known: judging by *venues* is what exposes the planted
+cross-field authors, so the advisor must rank that path at (or near) the
+top.
+"""
+
+import pytest
+
+from repro.engine.advisor import QueryAdvisor
+from repro.engine.strategies import PMStrategy
+
+BLAND_QUERY = (
+    'FIND OUTLIERS FROM author{"Prof. Hub"}.paper.author '
+    "JUDGED BY author.paper TOP 5;"
+)
+
+
+@pytest.fixture(scope="module")
+def advisor(bench_network):
+    return QueryAdvisor(PMStrategy(bench_network))
+
+
+def test_advisor_timing(benchmark, advisor):
+    benchmark.group = "extension-advisor"
+    suggestions = benchmark.pedantic(
+        advisor.suggest,
+        args=(BLAND_QUERY,),
+        kwargs={"max_suggestions": 8, "max_length": 2, "include_current": True},
+        rounds=1,
+        iterations=1,
+    )
+    assert suggestions
+
+
+def test_advisor_report(benchmark, advisor, bench_corpus, report):
+    def run():
+        return advisor.suggest(
+            BLAND_QUERY, max_suggestions=8, max_length=2, include_current=True
+        )
+
+    suggestions = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "query suggestions for a bland starting query (JUDGED BY author.paper)",
+        "",
+        f"{'rank':>4} {'interestingness':>16}   feature meta-path / top-3",
+    ]
+    for position, suggestion in enumerate(suggestions, start=1):
+        lines.append(
+            f"{position:>4} {suggestion.score:>16.3f}   {suggestion.feature_path}"
+        )
+        lines.append(f"{'':>21}   {suggestion.result.names()[:3]}")
+    lines.append("")
+    lines.append(
+        "shape: the venue judgment — the one that exposes the planted "
+        "cross-field authors — ranks at the top"
+    )
+    report("extension_advisor", "\n".join(lines))
+
+    paths = [str(s.feature_path) for s in suggestions]
+    assert "author.paper.venue" in paths[:2], paths
+    # The winning suggestion's top outliers are the planted ones.
+    winner = suggestions[paths.index("author.paper.venue")]
+    assert set(winner.result.names()) <= (
+        set(bench_corpus.cross_field) | set(bench_corpus.students)
+    )

@@ -1,0 +1,74 @@
+"""Paper Table 2 — Ω scores of the toy candidates under three measures.
+
+This is the one experiment we reproduce *exactly*: the Table 1 publication
+records are synthetic in the paper too, so every printed value must match
+the paper to two decimals (NetOut: Sarah 100, Rob 6.24, Lucy 31.11, Joe 50,
+Emma 3.33; analogously for ΩPathSim and ΩCosSim).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.measures import get_measure
+from repro.datagen.fixtures import TABLE1_CANDIDATES, table1_network
+from repro.engine.strategies import BaselineStrategy
+from repro.metapath.metapath import MetaPath
+
+PV = MetaPath.parse("author.paper.venue")
+
+PAPER_TABLE2 = {
+    "netout": [100.0, 6.24, 31.11, 50.0, 3.33],
+    "pathsim": [100.0, 9.97, 32.79, 1.94, 5.44],
+    "cossim": [100.0, 12.43, 32.83, 7.04, 7.04],
+}
+
+
+@pytest.fixture(scope="module")
+def toy_vectors():
+    network, candidates, reference = table1_network()
+    strategy = BaselineStrategy(network)
+    candidate_indices = [network.find_vertex("author", n).index for n in candidates]
+    reference_indices = [network.find_vertex("author", n).index for n in reference]
+    return (
+        strategy.neighbor_matrix(PV, candidate_indices),
+        strategy.neighbor_matrix(PV, reference_indices),
+    )
+
+
+@pytest.mark.parametrize("measure_name", ["netout", "pathsim", "cossim"])
+def test_table2_measure_timing(benchmark, toy_vectors, measure_name):
+    """Time the scoring step of each measure on the Table 1 toy data."""
+    phi_candidates, phi_reference = toy_vectors
+    measure = get_measure(measure_name)
+    scores = benchmark(measure.score, phi_candidates, phi_reference)
+    np.testing.assert_allclose(
+        np.round(scores, 2), PAPER_TABLE2[measure_name], atol=0.005
+    )
+
+
+def test_table2_report(benchmark, toy_vectors, report):
+    """Regenerate Table 2 and assert exact agreement with the paper."""
+    phi_candidates, phi_reference = toy_vectors
+
+    def compute():
+        return {
+            name: get_measure(name).score(phi_candidates, phi_reference)
+            for name in ("netout", "pathsim", "cossim")
+        }
+
+    scores = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    lines = [
+        f"{'':10s} {'ΩNetOut':>10s} {'ΩPathSim':>10s} {'ΩCosSim':>10s}"
+        f"   (paper: NetOut/PathSim/CosSim)"
+    ]
+    for position, name in enumerate(TABLE1_CANDIDATES):
+        measured = [scores[m][position] for m in ("netout", "pathsim", "cossim")]
+        expected = [PAPER_TABLE2[m][position] for m in ("netout", "pathsim", "cossim")]
+        lines.append(
+            f"{name:10s} {measured[0]:>10.2f} {measured[1]:>10.2f} "
+            f"{measured[2]:>10.2f}   (paper: {expected[0]:g}/{expected[1]:g}/"
+            f"{expected[2]:g})"
+        )
+        np.testing.assert_allclose(np.round(measured, 2), expected, atol=0.005)
+    report("table2_toy_scores", "\n".join(lines))

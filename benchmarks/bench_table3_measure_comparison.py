@@ -1,0 +1,70 @@
+"""Paper Table 3 — top-5 outliers among a hub's coauthors under each measure.
+
+The paper's finding is qualitative: Ω defined with *normalized connectivity*
+(NetOut) surfaces established cross-field authors with a wide range of
+visibilities, while PathSim and CosSim surface authors with fewer than two
+papers — an inherent low-visibility bias.  We replay the query on the
+planted ego corpus and assert that shape.
+"""
+
+import pytest
+
+from repro.engine.detector import OutlierDetector
+
+TOP5_QUERY = (
+    'FIND OUTLIERS FROM author{"Prof. Hub"}.paper.author '
+    "JUDGED BY author.paper.venue TOP 5;"
+)
+
+
+@pytest.fixture(scope="module")
+def detectors(bench_network):
+    return {
+        name: OutlierDetector(bench_network, strategy="pm", measure=name)
+        for name in ("netout", "pathsim", "cossim")
+    }
+
+
+@pytest.mark.parametrize("measure_name", ["netout", "pathsim", "cossim"])
+def test_table3_query_timing(benchmark, detectors, measure_name):
+    result = benchmark(detectors[measure_name].detect, TOP5_QUERY)
+    assert len(result) == 5
+
+
+def test_table3_report(benchmark, bench_corpus, detectors, report):
+    network = bench_corpus.network
+
+    def run_all():
+        return {name: det.detect(TOP5_QUERY) for name, det in detectors.items()}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        f"{'Rank':>4}  "
+        + "".join(f"{m:>28s} {'Ω':>8s}   " for m in ("NetOut", "PathSim", "CosSim"))
+    ]
+    for position in range(5):
+        row = [f"{position + 1:>4}  "]
+        for name in ("netout", "pathsim", "cossim"):
+            entry = results[name].outliers[position]
+            papers = network.degree(
+                network.find_vertex("author", entry.name), "paper"
+            )
+            row.append(f"{entry.name + f' ({papers:.0f}p)':>28s} {entry.score:>8.3f}   ")
+        lines.append("".join(row))
+    lines.append("")
+    lines.append(
+        "paper's shape: NetOut top-5 = established cross-field authors "
+        "(wide visibility range); PathSim/CosSim top-5 = authors with <=2 papers"
+    )
+    report("table3_measure_comparison", "\n".join(lines))
+
+    # Shape assertions (the paper's qualitative claims).
+    netout_top = set(results["netout"].names())
+    assert netout_top == set(bench_corpus.cross_field)
+    for biased in ("pathsim", "cossim"):
+        for name in results[biased].names():
+            author = network.find_vertex("author", name)
+            assert network.degree(author, "paper") <= 2, (
+                f"{biased} top-5 should be low-visibility authors"
+            )

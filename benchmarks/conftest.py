@@ -1,0 +1,92 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  Benchmarks print their tables to stdout
+(run with ``pytest benchmarks/ --benchmark-only -s`` to watch) and also
+write them to ``benchmarks/out/`` so EXPERIMENTS.md can reference stable
+artifacts.
+
+Scale note: the paper's corpus has 2.2M papers and its query sets 10,000
+queries; this harness defaults to a few thousand papers and O(100) queries
+per set — large enough for the relative effects (who wins, by what factor)
+to be stable, small enough to run in seconds.  See DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datagen.synthetic import EgoNetworkSpec, GeneratorConfig, hub_ego_corpus
+from repro.datagen.workloads import generate_query_set
+from repro.query.templates import QUERY_TEMPLATES
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Queries per template set (the paper uses 10,000; see module docstring).
+QUERY_SET_SIZE = 120
+
+BENCH_CONFIG = GeneratorConfig(
+    num_communities=5,
+    authors_per_community=250,
+    venues_per_community=12,
+    terms_per_community=200,
+    common_terms=50,
+    papers_per_community=1200,
+    # The paper's corpus is ~1000x larger, so even a tiny missing-author rate
+    # gives its NULL marker an enormous record scattered over thousands of
+    # venues; at this scale the rate must be higher for NULL to accumulate an
+    # equivalent profile (Table 5, query 3 surfaces it among the top
+    # outliers — its Ω sinks as its visibility grows quadratically).
+    missing_author_prob=0.08,
+    missing_venue_prob=0.005,
+)
+
+
+# At benchmark scale the reference set is much richer than in the unit-test
+# corpus, so the cross-field archetype needs proportionally more foreign
+# output (higher visibility) for the Table 3 separation to match the paper:
+# established authors with hundreds of papers, like the paper's examples.
+BENCH_EGO_SPEC = EgoNetworkSpec(
+    hub_papers=80,
+    cross_field_papers=(180, 320),
+    cross_field_home_papers=4,
+    seed=2015,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    """The benchmark corpus: synthetic DBLP-like network + planted ego groups."""
+    return hub_ego_corpus(config=BENCH_CONFIG, spec=BENCH_EGO_SPEC)
+
+
+@pytest.fixture(scope="session")
+def bench_network(bench_corpus):
+    return bench_corpus.network
+
+
+@pytest.fixture(scope="session")
+def query_sets(bench_network):
+    """{template name: list of query strings} for Q1-Q3 (paper Table 4)."""
+    return {
+        template.name: generate_query_set(
+            bench_network, template, QUERY_SET_SIZE, seed=7
+        )
+        for template in QUERY_TEMPLATES
+    }
+
+
+def write_report(name: str, text: str) -> None:
+    """Print a benchmark report and persist it under ``benchmarks/out/``."""
+    OUT_DIR.mkdir(exist_ok=True)
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
+    print(banner + text)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def report():
+    return write_report

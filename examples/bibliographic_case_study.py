@@ -1,0 +1,131 @@
+"""Case study on a synthetic DBLP-like corpus (paper Section 7.2, Table 5).
+
+Run with::
+
+    python examples/bibliographic_case_study.py
+
+Generates a community-structured bibliographic network with planted outlier
+archetypes (a prolific hub, established cross-field coauthors, one-paper
+students, and NULL missing-data markers), then replays the paper's three
+case-study queries and shows how the choice of feature meta-path — and of
+outlierness measure — changes who counts as an outlier.
+"""
+
+from repro import OutlierDetector
+from repro.datagen.synthetic import EgoNetworkSpec, GeneratorConfig, hub_ego_corpus
+
+
+def main():
+    config = GeneratorConfig(
+        num_communities=5,
+        authors_per_community=150,
+        venues_per_community=10,
+        papers_per_community=700,
+        missing_author_prob=0.05,
+    )
+    corpus = hub_ego_corpus(config=config, spec=EgoNetworkSpec(seed=42))
+    network = corpus.network
+    print(f"corpus: {network}")
+    print(f"hub: {corpus.hub}")
+    print(f"planted cross-field authors: {corpus.cross_field}")
+    print(f"planted students: {corpus.students}\n")
+
+    detector = OutlierDetector(network, strategy="pm")
+
+    # Query 1 — judge the hub's coauthors by their publishing venues.
+    by_venue = detector.detect(
+        f'FIND OUTLIERS FROM author{{"{corpus.hub}"}}.paper.author '
+        "JUDGED BY author.paper.venue TOP 10;"
+    )
+    print("Q1 — coauthors judged by venues (cross-field authors surface):")
+    print(by_venue.to_table(), "\n")
+
+    # Query 2 — same candidates, judged by their coauthor networks.
+    by_coauthor = detector.detect(
+        f'FIND OUTLIERS FROM author{{"{corpus.hub}"}}.paper.author '
+        "JUDGED BY author.paper.author TOP 10;"
+    )
+    print("Q2 — the same candidates judged by coauthors (a different story):")
+    print(by_coauthor.to_table(), "\n")
+    overlap = set(by_venue.names()) & set(by_coauthor.names())
+    print(
+        f"the two rankings share only {len(overlap)}/10 names — outlier "
+        "semantics are relative to the query, the paper's core point.\n"
+    )
+
+    # Query 3 — outliers among a flagship venue's authors; the NULL
+    # missing-data marker shows up, as in the paper's Table 5.
+    flagship = "C0-Venue-0"
+    venue_authors = detector.detect(
+        f'FIND OUTLIERS FROM venue{{"{flagship}"}}.paper.author '
+        "JUDGED BY author.paper.venue TOP 10;"
+    )
+    print(f"Q3 — outliers among {flagship}'s authors (note the NULL artifact):")
+    print(venue_authors.to_table(), "\n")
+
+    # Measure comparison — the paper's Table 3 bias demonstration.
+    print("measure comparison on Q1 (top-5 each):")
+    for measure in ("netout", "pathsim", "cossim"):
+        comparison = OutlierDetector(network, strategy="pm", measure=measure)
+        names = comparison.detect(
+            f'FIND OUTLIERS FROM author{{"{corpus.hub}"}}.paper.author '
+            "JUDGED BY author.paper.venue TOP 5;"
+        ).names()
+        papers = [
+            f"{n} ({network.degree(network.find_vertex('author', n), 'paper'):.0f}p)"
+            for n in names
+        ]
+        print(f"  {measure:>8}: {papers}")
+    print(
+        "\nPathSim/CosSim surface single-paper students (low-visibility "
+        "bias); NetOut surfaces the established cross-field authors."
+    )
+
+    # Richer language features: reference sets, WHERE, weights.
+    advanced = detector.detect(
+        f"""
+        FIND OUTLIERS
+        FROM author{{"{corpus.hub}"}}.paper.author AS A
+             WHERE COUNT(A.paper) >= 2
+        COMPARED TO venue{{"{flagship}"}}.paper.author
+        JUDGED BY author.paper.venue: 2.0, author.paper.term
+        TOP 5;
+        """
+    )
+    print("\nadvanced query (WHERE filter, reference set, weighted paths):")
+    print(advanced.to_table())
+
+    # Per-feature explanations: which aspect made the top result an outlier?
+    top = advanced.outliers[0]
+    print(f"\nper-feature Ω breakdown for {top.name}:")
+    for path_text, score in advanced.explain_vertex(top.vertex).items():
+        print(f"  {path_text:<24} Ω = {score:.3f}")
+
+    # Visual explanations (paper §8: "visualize outliers").
+    from repro.engine.evaluator import SetEvaluator
+    from repro.metapath import MetaPath
+    from repro.query import parse_set_expression
+    from repro.viz import profile_comparison, score_distribution
+
+    print("\nscore distribution of Q1 (top outliers marked with *):")
+    print(score_distribution(by_venue, bins=10, width=30))
+
+    evaluator = SetEvaluator(detector.strategy)
+    __, coauthors = evaluator.evaluate(
+        parse_set_expression(f'author{{"{corpus.hub}"}}.paper.author')
+    )
+    top_outlier = by_venue.outliers[0]
+    print(f"\nwhy is {top_outlier.name} an outlier? venue profile vs the group:")
+    print(
+        profile_comparison(
+            detector.strategy,
+            MetaPath.parse("author.paper.venue"),
+            top_outlier.vertex,
+            coauthors,
+            top_dimensions=6,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

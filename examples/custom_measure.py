@@ -1,0 +1,83 @@
+"""Extending the framework: plugging in a custom outlierness measure.
+
+Run with::
+
+    python examples/custom_measure.py
+
+Section 8 of the paper notes that other outlier detection algorithms can be
+substituted into the query-based framework "as long as they support the
+input specified by our queries".  The measure registry makes that a
+three-step exercise:
+
+1. subclass :class:`repro.core.Measure` (score candidates against a
+   reference over neighbor-vector matrices; lower = more outlying),
+2. register it under a name,
+3. select it when constructing the detector.
+
+The example wraps the from-scratch LOF baseline as a query measure and
+compares its ranking with NetOut's on the planted ego corpus.
+"""
+
+import numpy as np
+from scipy import sparse
+
+from repro import Measure, OutlierDetector, register_measure
+from repro.baselines.lof import local_outlier_factor
+from repro.datagen.synthetic import hub_ego_corpus
+
+
+class LOFMeasure(Measure):
+    """LOF over neighbor vectors, adapted to the query framework.
+
+    LOF scores the candidate set against the *union* of candidates and
+    reference (it is a local-density method with no native notion of a
+    reference population), and its polarity is inverted (high LOF = outlier)
+    so we negate it to match the framework's lower-is-more-outlying
+    convention.
+    """
+
+    name = "lof"
+
+    def __init__(self, min_pts: int = 10) -> None:
+        self.min_pts = min_pts
+
+    def score(self, phi_candidates, phi_reference):
+        candidates = sparse.csr_matrix(phi_candidates)
+        reference = sparse.csr_matrix(phi_reference)
+        stacked = sparse.vstack([candidates, reference]).toarray()
+        min_pts = min(self.min_pts, stacked.shape[0] - 1)
+        lof = local_outlier_factor(stacked, min_pts=min_pts)
+        return -lof[: candidates.shape[0]]
+
+
+def main():
+    register_measure("lof", LOFMeasure)
+
+    corpus = hub_ego_corpus()
+    network = corpus.network
+    print(f"corpus: {network}")
+    print(f"planted cross-field authors: {corpus.cross_field}")
+    print(f"planted students: {corpus.students}\n")
+
+    query = (
+        f'FIND OUTLIERS FROM author{{"{corpus.hub}"}}.paper.author '
+        "JUDGED BY author.paper.venue TOP 10;"
+    )
+
+    for measure in ("netout", "lof"):
+        detector = OutlierDetector(network, strategy="pm", measure=measure)
+        result = detector.detect(query)
+        print(f"top-10 under {measure}:")
+        print(result.to_table(), "\n")
+
+    netout_top = OutlierDetector(network, strategy="pm").detect(query).names()
+    planted = set(corpus.cross_field) | set(corpus.students)
+    recovered = len(set(netout_top) & planted)
+    print(
+        f"NetOut recovers {recovered}/10 planted outliers in its top-10; "
+        "try the same with your own measure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Outlier queries over an open-schema knowledge graph (paper §8).
+
+Run with::
+
+    python examples/knowledge_graph.py
+
+Section 8 notes the query language "can be applied to open-schema networks
+such as a knowledge graph".  This example ingests (subject, predicate,
+object) triples, infers entity types from ``type`` statements, reifies
+predicates into the type system (so meta-paths read
+``person.acted_in.movie``), and finds the planted genre-hopping actor.
+It also shows the progressive (anytime) executor streaming provisional
+answers with confidence — another §8 idea.
+"""
+
+from repro.engine.detector import OutlierDetector
+from repro.engine.progressive import ProgressiveQueryExecutor
+from repro.engine.strategies import PMStrategy
+from repro.kg import KnowledgeGraph, movie_knowledge_graph
+
+
+def main():
+    # Triples can come from text (tab-separated) ...
+    kg = KnowledgeGraph.from_text(
+        "Tom Hanks\ttype\tperson\n"
+        "Big\ttype\tmovie\n"
+        "Tom Hanks\tacted in\tBig\n"
+    )
+    print(f"hand-built graph: {kg.triple_count} data triple(s), "
+          f"predicates = {sorted(kg.predicates())}")
+
+    # ... or from a generator.  The demo corpus plants one actor whose
+    # filmography sits in the wrong genre cluster.
+    corpus = movie_knowledge_graph(seed=1)
+    network = corpus.graph.to_hin()
+    print(f"movie knowledge graph as a HIN: {network}")
+    print(f"planted outlier: {corpus.outlier_actor}\n")
+
+    detector = OutlierDetector(network, strategy="pm")
+
+    query = (
+        'FIND OUTLIERS FROM movie{"Drama Movie 00"}.acted_in.person '
+        "JUDGED BY person.acted_in.movie.has_genre.genre "
+        "TOP 3;"
+    )
+    print("query (predicates appear inside the meta-path):")
+    print(query)
+    result = detector.detect(query)
+    print(result.to_table(), "\n")
+
+    # Anytime execution: provisional top-k with confidence, chunk by chunk.
+    progressive = ProgressiveQueryExecutor(
+        PMStrategy(network), chunk_size=4, confidence=0.95, seed=0
+    )
+    print("progressive execution (fraction processed -> provisional top-3):")
+    for snapshot in progressive.stream(query):
+        names = [network.vertex_name(v) for v in snapshot.top_k]
+        marker = "stable" if snapshot.stable else ""
+        print(f"  {snapshot.fraction:>5.0%}  {names}  {marker}")
+        if snapshot.stable:
+            break
+
+    assert result.names()[0] == corpus.outlier_actor
+    print("\nthe genre-hopping actor surfaces from raw triples. ✔")
+
+
+if __name__ == "__main__":
+    main()

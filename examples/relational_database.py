@@ -1,0 +1,129 @@
+"""Outlier queries over a relational database (paper §8).
+
+Run with::
+
+    python examples/relational_database.py
+
+Section 8 suggests applying query-based outlier detection to traditional
+relational databases.  This example builds a small retail database
+(customers, products, purchases, support tickets), converts it to a
+heterogeneous information network — tables become vertex types, foreign
+keys become edges, the purchases junction collapses into direct edges, and
+the ``city`` column expands into vertices — then asks relational-flavoured
+outlier questions in the meta-path language.
+"""
+
+from repro import OutlierDetector
+from repro.relational import (
+    Column,
+    ForeignKey,
+    RelationalDatabase,
+    Table,
+    database_to_hin,
+)
+
+
+def build_database() -> RelationalDatabase:
+    db = RelationalDatabase()
+
+    customers = Table(
+        "customer",
+        [Column("id", int), Column("name"), Column("city")],
+        "id",
+    )
+    cities = ["Boston", "Boston", "Boston", "Denver", "Denver", "Reno"]
+    for i, city in enumerate(cities, start=1):
+        customers.insert({"id": i, "name": f"customer-{i}", "city": city})
+    db.add_table(customers)
+
+    products = Table(
+        "product", [Column("id", int), Column("name"), Column("category")], "id"
+    )
+    catalogue = [
+        ("laptop", "electronics"),
+        ("monitor", "electronics"),
+        ("keyboard", "electronics"),
+        ("desk", "furniture"),
+        ("chair", "furniture"),
+        ("tractor", "agriculture"),
+        ("plough", "agriculture"),
+    ]
+    for i, (name, category) in enumerate(catalogue, start=1):
+        products.insert({"id": i, "name": name, "category": category})
+    db.add_table(products)
+
+    purchases = Table(
+        "purchase",
+        [Column("id", int), Column("customer_id", int), Column("product_id", int)],
+        "id",
+        [
+            ForeignKey("customer_id", "customer", "id"),
+            ForeignKey("product_id", "product", "id"),
+        ],
+    )
+    # Customers 1-5 buy office gear; customer 6 runs a farm.
+    office_products = [1, 2, 3, 4, 5]
+    rows = []
+    order = 0
+    for customer in range(1, 6):
+        for product in office_products:
+            order += 1
+            rows.append(
+                {"id": order, "customer_id": customer, "product_id": product}
+            )
+    for product in (6, 7, 6):
+        order += 1
+        rows.append({"id": order, "customer_id": 6, "product_id": product})
+    purchases.insert_many(rows)
+    db.add_table(purchases)
+    return db
+
+
+def main():
+    db = build_database()
+    print(f"database: {db.table_names}")
+    db.check_integrity()
+    print("referential integrity: OK")
+
+    network = database_to_hin(
+        db,
+        name_columns={"customer": "name", "product": "name"},
+        expand_columns={"customer": ["city"], "product": ["category"]},
+    )
+    print(f"converted network: {network}\n")
+
+    detector = OutlierDetector(network)
+
+    # "Which customer buys unlike everyone else?" — the junction collapsed
+    # into customer--product edges, so this is a one-hop meta-path.
+    by_products = detector.detect(
+        "FIND OUTLIERS FROM customer JUDGED BY customer.product TOP 3;"
+    )
+    print("customers judged by the products they buy:")
+    print(by_products.to_table(), "\n")
+
+    # Judge by product *category* instead — a two-hop meta-path through the
+    # expanded column, the relational analogue of the paper's venue path.
+    by_category = detector.detect(
+        "FIND OUTLIERS FROM customer "
+        "JUDGED BY customer.product.category TOP 3;"
+    )
+    print("customers judged by product categories:")
+    print(by_category.to_table(), "\n")
+
+    # Restrict candidates with SQL-style set syntax: Boston customers
+    # compared to everyone.
+    scoped = detector.detect(
+        'FIND OUTLIERS FROM city{"Boston"}.customer '
+        "COMPARED TO customer "
+        "JUDGED BY customer.product.category TOP 2;"
+    )
+    print("Boston customers referenced against all customers:")
+    print(scoped.to_table())
+
+    assert by_products.names()[0] == "customer-6"
+    print("\nthe farm-supply buyer surfaces through plain relational data. ✔")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Query-based outlier detection beyond bibliography: security operations.
+
+Run with::
+
+    python examples/security_alerts.py
+
+The paper (supported by the Army Research Lab) motivates query-based
+outlier detection for security analytics.  This example builds a
+heterogeneous network of users, hosts, alerts, and alert categories, plants
+compromised hosts with unusual alert-category profiles, and finds them with
+the same query language and NetOut measure used for bibliographic data —
+no code changes, just a different schema.
+"""
+
+from repro import OutlierDetector
+from repro.datagen.security import SecurityNetworkGenerator
+
+
+def main():
+    corpus = SecurityNetworkGenerator(
+        num_users=80, num_hosts=120, num_compromised=3, seed=7
+    ).generate()
+    network = corpus.network
+    print(f"network: {network}")
+    print(f"planted compromised hosts: {sorted(corpus.compromised_hosts)}\n")
+
+    detector = OutlierDetector(network, strategy="pm")
+
+    # Fleet-wide triage: which hosts have the weirdest alert profiles?
+    fleet = detector.detect(
+        "FIND OUTLIERS FROM host "
+        "JUDGED BY host.alert.category "
+        "TOP 5;"
+    )
+    print("fleet-wide outlier hosts by alert category profile:")
+    print(fleet.to_table())
+    found = set(fleet.names()) & set(corpus.compromised_hosts)
+    print(f"\nplanted hosts in the top-5: {sorted(found)}\n")
+
+    # Analyst-scoped query: outliers among the hosts one analyst touches,
+    # compared against the whole fleet.
+    analyst = corpus.analyst_users[0]
+    scoped = detector.detect(
+        f'FIND OUTLIERS FROM user{{"{analyst}"}}.host '
+        "COMPARED TO host "
+        "JUDGED BY host.alert.category "
+        "TOP 5;"
+    )
+    print(f"outliers among {analyst}'s hosts, referenced to the fleet:")
+    print(scoped.to_table())
+
+    # Two-hop meta-path: judge users by the alert categories raised on the
+    # hosts they log into — finds users whose working set looks compromised.
+    users = detector.detect(
+        "FIND OUTLIERS FROM user "
+        "JUDGED BY user.host.alert.category "
+        "TOP 5;"
+    )
+    print("\noutlier users by the alert profile of their hosts:")
+    print(users.to_table())
+
+    assert found, "the planted compromise should surface in the fleet triage"
+    print("\nthe planted compromise surfaces through the generic query API. ✔")
+
+
+if __name__ == "__main__":
+    main()

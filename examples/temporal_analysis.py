@@ -1,0 +1,92 @@
+"""Temporal outlier analysis with subnetwork slicing.
+
+Run with::
+
+    python examples/temporal_analysis.py
+
+Outlierness is relative to the data in scope.  This example builds a
+bibliographic corpus with publication years, slices it into time windows
+with :func:`repro.hin.slice_by_attribute`, and tracks how an author's
+NetOut score among her coauthors changes as her publishing behaviour
+drifts: a classic "field switcher" looks perfectly normal early on and
+becomes a strong outlier once her late-career venues diverge.
+"""
+
+from repro import OutlierDetector
+from repro.hin import BibliographicNetworkBuilder, Publication, slice_by_attribute
+from repro.viz import sparkline
+
+
+def build_corpus():
+    """Three eras of a small community; Dana switches fields around 2010."""
+    builder = BibliographicNetworkBuilder()
+    publications = []
+    counter = 0
+
+    def publish(author, venue, year, coauthors=()):
+        nonlocal counter
+        counter += 1
+        publications.append(
+            Publication(
+                f"p{counter:04d}",
+                [author, *coauthors],
+                venue,
+                terms=["work"],
+                year=year,
+            )
+        )
+
+    community = ["Alice", "Bob", "Carol", "Dana"]
+    hub = "Alice"
+    for year in range(2000, 2020):
+        for author in community:
+            # Everyone keeps a steady data-mining record with the hub.
+            if author != hub and year % 2 == 0:
+                publish(hub, "KDD", year, coauthors=[author])
+            publish(author, "KDD" if year % 3 else "ICDM", year)
+        # Dana drifts into graphics from 2010 on (and keeps only a token
+        # presence in the old community).
+        if year >= 2010:
+            publish("Dana", "SIGGRAPH", year)
+            publish("Dana", "SIGGRAPH", year)
+    return builder, publications
+
+
+def main():
+    builder, publications = build_corpus()
+    builder.add_publications(publications)
+    network = builder.build()
+    print(f"full corpus: {network}\n")
+
+    query = (
+        'FIND OUTLIERS FROM author{"Alice"}.paper.author '
+        "JUDGED BY author.paper.venue TOP 4;"
+    )
+
+    windows = [(2000, 2006), (2005, 2011), (2010, 2016), (2014, 2020)]
+    dana_scores = []
+    print(f"{'window':>12} {'Dana rank':>10} {'Dana Ω':>8}   top outlier")
+    for start, stop in windows:
+        window = slice_by_attribute(
+            network, "paper", "year", minimum=start, maximum=stop - 1
+        )
+        result = OutlierDetector(window, strategy="pm").detect(query)
+        names = result.names()
+        dana_vertex = window.find_vertex("author", "Dana")
+        dana_score = result.scores.get(dana_vertex)
+        dana_scores.append(dana_score)
+        rank = names.index("Dana") + 1 if "Dana" in names else ">4"
+        print(
+            f"{f'{start}-{stop - 1}':>12} {rank!s:>10} {dana_score:>8.2f}   "
+            f"{names[0]}"
+        )
+
+    print(f"\nDana's Ω across windows: {sparkline(dana_scores)} "
+          "(falling Ω = increasingly outlying)")
+    assert dana_scores[-1] < dana_scores[0]
+    print("Dana's late-career field switch surfaces only in the later "
+          "windows — outlierness is scope-relative. ✔")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools
+cannot perform PEP 660 editable builds (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

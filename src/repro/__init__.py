@@ -1,0 +1,162 @@
+"""repro — Query-based outlier detection in heterogeneous information networks.
+
+A full reimplementation of Kuck, Zhuang, Yan, Cam & Han, *"Query-Based
+Outlier Detection in Heterogeneous Information Networks"* (EDBT 2015):
+the outlier query language, the NetOut measure, and the Baseline / PM /
+SPM execution strategies, over a from-scratch heterogeneous-network
+substrate.
+
+Quickstart
+----------
+>>> from repro import OutlierDetector
+>>> from repro.datagen import hub_ego_corpus
+>>> corpus = hub_ego_corpus()
+>>> detector = OutlierDetector(corpus.network, strategy="pm")
+>>> result = detector.detect('''
+...     FIND OUTLIERS FROM author{"Prof. Hub"}.paper.author
+...     JUDGED BY author.paper.venue
+...     TOP 5;
+... ''')
+>>> len(result)
+5
+
+See ``README.md`` for the architecture overview and ``DESIGN.md`` for the
+paper-to-module map.
+"""
+
+from repro.exceptions import (
+    ExecutionError,
+    MeasureError,
+    MetaPathError,
+    NetworkError,
+    QueryError,
+    QuerySemanticError,
+    QuerySyntaxError,
+    ReproError,
+    SchemaError,
+    VertexNotFoundError,
+)
+from repro.hin import (
+    HIN,
+    BibliographicNetworkBuilder,
+    HeterogeneousInformationNetwork,
+    NetworkBuilder,
+    NetworkSchema,
+    Publication,
+    Vertex,
+    VertexId,
+    bibliographic_schema,
+)
+from repro.metapath import MetaPath, WeightedMetaPath
+from repro.core import (
+    CosineMeasure,
+    Measure,
+    NetOutMeasure,
+    OutlierResult,
+    PathSimMeasure,
+    ScoredVertex,
+    available_measures,
+    get_measure,
+    normalized_connectivity,
+    register_measure,
+)
+from repro.query import (
+    QUERY_TEMPLATES,
+    Query,
+    format_query,
+    parse_query,
+    validate_query,
+)
+from repro.evalmetrics import (
+    average_precision,
+    precision_at_k,
+    rank_of,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.hin.stats import network_summary
+from repro.engine import (
+    BaselineStrategy,
+    ProgressiveQueryExecutor,
+    QueryAdvisor,
+    ExecutionStats,
+    MetaPathIndex,
+    OutlierDetector,
+    PMStrategy,
+    QueryExecutor,
+    SPMStrategy,
+    WorkloadAnalyzer,
+    build_pm_index,
+    build_spm_index,
+    explain,
+    make_strategy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Exceptions
+    "ReproError",
+    "SchemaError",
+    "NetworkError",
+    "VertexNotFoundError",
+    "MetaPathError",
+    "QueryError",
+    "QuerySyntaxError",
+    "QuerySemanticError",
+    "ExecutionError",
+    "MeasureError",
+    # HIN substrate
+    "NetworkSchema",
+    "bibliographic_schema",
+    "HeterogeneousInformationNetwork",
+    "HIN",
+    "NetworkBuilder",
+    "BibliographicNetworkBuilder",
+    "Publication",
+    "Vertex",
+    "VertexId",
+    # Meta-paths
+    "MetaPath",
+    "WeightedMetaPath",
+    # Measures
+    "Measure",
+    "NetOutMeasure",
+    "PathSimMeasure",
+    "CosineMeasure",
+    "get_measure",
+    "register_measure",
+    "available_measures",
+    "normalized_connectivity",
+    "OutlierResult",
+    "ScoredVertex",
+    # Query language
+    "Query",
+    "parse_query",
+    "format_query",
+    "validate_query",
+    "QUERY_TEMPLATES",
+    # Engine
+    "OutlierDetector",
+    "QueryExecutor",
+    "BaselineStrategy",
+    "PMStrategy",
+    "SPMStrategy",
+    "make_strategy",
+    "MetaPathIndex",
+    "build_pm_index",
+    "build_spm_index",
+    "WorkloadAnalyzer",
+    "ExecutionStats",
+    "explain",
+    "ProgressiveQueryExecutor",
+    "QueryAdvisor",
+    # Evaluation & statistics
+    "precision_at_k",
+    "recall_at_k",
+    "average_precision",
+    "reciprocal_rank",
+    "rank_of",
+    "network_summary",
+]

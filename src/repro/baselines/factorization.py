@@ -1,0 +1,133 @@
+"""Matrix factorization and clustering primitives (from scratch).
+
+Support code for the community-distribution outlier baseline
+(:mod:`repro.baselines.cdoutlier`): non-negative matrix factorization by
+multiplicative updates (Lee & Seung, 2001) and Lloyd's k-means.  Both are
+deterministic given a seed and depend only on numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MeasureError
+from repro.utils.rng import ensure_rng
+
+__all__ = ["nmf", "kmeans"]
+
+_EPS = 1e-10
+
+
+def nmf(
+    matrix: np.ndarray,
+    components: int,
+    *,
+    iterations: int = 200,
+    seed: int | np.random.Generator = 0,
+    tolerance: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Factor a non-negative matrix as ``V ≈ W @ H``.
+
+    Multiplicative updates minimizing the Frobenius reconstruction error:
+
+        H ← H · (Wᵀ V) / (Wᵀ W H)
+        W ← W · (V Hᵀ) / (W H Hᵀ)
+
+    Parameters
+    ----------
+    matrix:
+        Non-negative (n x m) data matrix.
+    components:
+        Inner dimension (number of communities), ``1 <= k <= min(n, m)``.
+    iterations:
+        Maximum update rounds; stops early when the relative error change
+        falls below ``tolerance``.
+
+    Returns
+    -------
+    (W, H):
+        Non-negative factors of shapes (n x k) and (k x m).
+    """
+    data = np.asarray(matrix, dtype=float)
+    if data.ndim != 2:
+        raise MeasureError(f"expected a 2-D matrix, got shape {data.shape}")
+    if (data < 0).any():
+        raise MeasureError("NMF requires a non-negative matrix")
+    n, m = data.shape
+    if not 1 <= components <= min(n, m):
+        raise MeasureError(
+            f"components must be in [1, {min(n, m)}], got {components}"
+        )
+    rng = ensure_rng(seed)
+    scale = np.sqrt(data.mean() / components) if data.mean() > 0 else 1.0
+    w = rng.random((n, components)) * scale + _EPS
+    h = rng.random((components, m)) * scale + _EPS
+
+    previous_error = np.inf
+    for __ in range(iterations):
+        h *= (w.T @ data) / (w.T @ w @ h + _EPS)
+        w *= (data @ h.T) / (w @ (h @ h.T) + _EPS)
+        error = float(np.linalg.norm(data - w @ h))
+        if previous_error - error < tolerance * max(previous_error, 1.0):
+            break
+        previous_error = error
+    return w, h
+
+
+def kmeans(
+    points: np.ndarray,
+    clusters: int,
+    *,
+    iterations: int = 100,
+    seed: int | np.random.Generator = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's k-means with k-means++-style seeding.
+
+    Returns
+    -------
+    (centroids, labels):
+        Cluster centers (k x d) and per-point assignments (n,).
+    """
+    data = np.asarray(points, dtype=float)
+    if data.ndim != 2:
+        raise MeasureError(f"expected a 2-D point matrix, got shape {data.shape}")
+    n = data.shape[0]
+    if not 1 <= clusters <= n:
+        raise MeasureError(f"clusters must be in [1, {n}], got {clusters}")
+    rng = ensure_rng(seed)
+
+    # k-means++ seeding: spread the initial centroids out.
+    centroids = np.empty((clusters, data.shape[1]))
+    centroids[0] = data[int(rng.integers(n))]
+    closest = np.full(n, np.inf)
+    for position in range(1, clusters):
+        distances = np.einsum(
+            "ij,ij->i", data - centroids[position - 1], data - centroids[position - 1]
+        )
+        np.minimum(closest, distances, out=closest)
+        total = closest.sum()
+        if total <= 0:
+            centroids[position:] = data[int(rng.integers(n))]
+            break
+        centroids[position] = data[int(rng.choice(n, p=closest / total))]
+
+    labels = np.zeros(n, dtype=int)
+    for __ in range(iterations):
+        squared = (
+            np.einsum("ij,ij->i", data, data)[:, None]
+            - 2.0 * data @ centroids.T
+            + np.einsum("ij,ij->i", centroids, centroids)[None, :]
+        )
+        new_labels = np.argmin(squared, axis=1)
+        if (new_labels == labels).all() and __ > 0:
+            break
+        labels = new_labels
+        for cluster in range(clusters):
+            members = data[labels == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the farthest point.
+                farthest = int(np.argmax(np.min(squared, axis=1)))
+                centroids[cluster] = data[farthest]
+    return centroids, labels

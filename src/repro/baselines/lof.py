@@ -1,0 +1,102 @@
+"""Local Outlier Factor (Breunig, Kriegel, Ng, Sander — SIGMOD 2000).
+
+Implemented from scratch over dense feature matrices (in our setting,
+neighbor vectors ``φ_P``).  The paper's Section 8 reports that LOF "cannot
+produce better results than NetOut" on its queries; the ablation benchmark
+replays that comparison on planted outliers.
+
+Definitions (for ``k = min_pts``):
+
+* ``k-distance(p)`` — distance to p's k-th nearest neighbor.
+* ``N_k(p)`` — all points within k-distance (≥ k points under ties).
+* ``reach-dist_k(p, o) = max(k-distance(o), d(p, o))``.
+* ``lrd_k(p) = 1 / mean_{o ∈ N_k(p)} reach-dist_k(p, o)``.
+* ``LOF_k(p) = mean_{o ∈ N_k(p)} lrd_k(o) / lrd_k(p)``.
+
+LOF ≈ 1 means inlier; larger values mean stronger outliers.  Note the
+polarity is the *opposite* of NetOut's Ω (where smaller = more outlying).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MeasureError
+
+__all__ = ["local_outlier_factor"]
+
+
+def _pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix via the expanded-norm identity."""
+    squared_norms = np.einsum("ij,ij->i", points, points)
+    squared = squared_norms[:, None] + squared_norms[None, :] - 2.0 * (points @ points.T)
+    np.maximum(squared, 0.0, out=squared)
+    return np.sqrt(squared)
+
+
+def local_outlier_factor(points: np.ndarray, min_pts: int = 5) -> np.ndarray:
+    """LOF score per row of ``points`` (larger = more outlying).
+
+    Parameters
+    ----------
+    points:
+        Dense (n x d) feature matrix.
+    min_pts:
+        The ``k`` of the k-distance neighborhood; must satisfy
+        ``1 <= min_pts < n``.
+
+    Notes
+    -----
+    Ties at the k-distance are handled per the original definition: the
+    neighborhood contains *every* point at distance ≤ k-distance, so it may
+    exceed ``min_pts`` points.  Duplicate points (zero distances) receive
+    the conventional treatment: if a point's neighborhood has zero mean
+    reachability its lrd is infinite, and LOF of points in duplicate
+    clusters comes out as 1 (ratio of equal infinities is taken as 1).
+    """
+    data = np.asarray(points, dtype=float)
+    if data.ndim != 2:
+        raise MeasureError(f"expected a 2-D point matrix, got shape {data.shape}")
+    count = data.shape[0]
+    if not 1 <= min_pts < count:
+        raise MeasureError(
+            f"min_pts must satisfy 1 <= min_pts < n (= {count}), got {min_pts}"
+        )
+
+    distances = _pairwise_distances(data)
+    np.fill_diagonal(distances, np.inf)
+
+    # k-distance per point: k-th smallest distance to another point.
+    sorted_distances = np.sort(distances, axis=1)
+    k_distances = sorted_distances[:, min_pts - 1]
+
+    # Neighborhoods: all points within the k-distance (ties included).
+    neighborhoods: list[np.ndarray] = [
+        np.flatnonzero(distances[i] <= k_distances[i]) for i in range(count)
+    ]
+
+    # Local reachability density.
+    lrd = np.empty(count, dtype=float)
+    for i, neighbors in enumerate(neighborhoods):
+        reach = np.maximum(k_distances[neighbors], distances[i, neighbors])
+        mean_reach = reach.mean()
+        lrd[i] = np.inf if mean_reach == 0.0 else 1.0 / mean_reach
+
+    # LOF: mean neighbor lrd over own lrd.
+    lof = np.empty(count, dtype=float)
+    for i, neighbors in enumerate(neighborhoods):
+        neighbor_lrd = lrd[neighbors]
+        if np.isinf(lrd[i]):
+            # Duplicate cluster: own density is infinite.  All-infinite
+            # neighbors → inlier (1.0); any finite neighbor contributes 0.
+            finite = np.isfinite(neighbor_lrd)
+            lof[i] = 1.0 if not finite.any() else float(
+                np.mean(np.where(finite, 0.0, 1.0))
+            )
+            continue
+        ratios = neighbor_lrd / lrd[i]
+        # Infinite neighbor densities dominate; cap at a large finite value
+        # to keep downstream rankings usable.
+        ratios = np.where(np.isinf(ratios), np.finfo(float).max / count, ratios)
+        lof[i] = float(ratios.mean())
+    return lof

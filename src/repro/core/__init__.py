@@ -1,0 +1,53 @@
+"""Core outlierness machinery (paper Section 5).
+
+* :mod:`~repro.core.connectivity` — connectivity, visibility, and the
+  normalized connectivity ``κ`` of Definition 9.
+* :mod:`~repro.core.measures` — the NetOut measure (Definition 10) and the
+  comparison measures ΩPathSim and ΩCosSim, all over neighbor-vector
+  matrices, with both the O(|Sr|+|Sc|) vectorized path (paper Eq. 1) and a
+  naive pairwise path for ablation.
+* :mod:`~repro.core.aggregation` — sum/mean/min/max aggregation variants
+  discussed in Section 5.2.
+* :mod:`~repro.core.results` — ranked result containers.
+
+The user-facing detector facade lives in :mod:`repro.engine.detector` (it
+needs the execution engine); it is re-exported from the top-level package.
+"""
+
+from repro.core.connectivity import (
+    connectivity,
+    connectivity_matrix,
+    normalized_connectivity,
+    visibility,
+    visibilities,
+)
+from repro.core.measures import (
+    CosineMeasure,
+    Measure,
+    NetOutMeasure,
+    PathSimMeasure,
+    available_measures,
+    get_measure,
+    register_measure,
+)
+from repro.core.aggregation import AGGREGATIONS, aggregate_normalized_connectivity
+from repro.core.results import OutlierResult, ScoredVertex
+
+__all__ = [
+    "connectivity",
+    "connectivity_matrix",
+    "normalized_connectivity",
+    "visibility",
+    "visibilities",
+    "Measure",
+    "NetOutMeasure",
+    "PathSimMeasure",
+    "CosineMeasure",
+    "get_measure",
+    "register_measure",
+    "available_measures",
+    "AGGREGATIONS",
+    "aggregate_normalized_connectivity",
+    "OutlierResult",
+    "ScoredVertex",
+]

@@ -1,0 +1,50 @@
+"""Aggregation of per-reference similarities into one score (paper §5.2).
+
+The paper defines NetOut as the **sum** of normalized connectivities over
+the reference set and argues against min (degenerate: most candidates are
+disconnected from at least one reference vertex) and max (rewards a single
+moderate connection over uniform weak connections).  The alternatives are
+kept here for the ablation benchmark that replays that argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AGGREGATIONS", "aggregate_normalized_connectivity"]
+
+AGGREGATIONS = ("sum", "mean", "min", "max")
+
+
+def aggregate_normalized_connectivity(matrix: np.ndarray, aggregation: str) -> np.ndarray:
+    """Collapse a (candidates x reference) similarity matrix row-wise.
+
+    Parameters
+    ----------
+    matrix:
+        Dense pairwise similarities, one row per candidate.
+    aggregation:
+        One of :data:`AGGREGATIONS`.
+
+    Returns
+    -------
+    numpy.ndarray
+        One score per candidate.  With an empty reference set every
+        aggregation returns zeros (there is nothing to compare against).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D similarity matrix, got shape {matrix.shape}")
+    if matrix.shape[1] == 0:
+        return np.zeros(matrix.shape[0], dtype=float)
+    if aggregation == "sum":
+        return matrix.sum(axis=1)
+    if aggregation == "mean":
+        return matrix.mean(axis=1)
+    if aggregation == "min":
+        return matrix.min(axis=1)
+    if aggregation == "max":
+        return matrix.max(axis=1)
+    raise ValueError(
+        f"unknown aggregation {aggregation!r}; expected one of {AGGREGATIONS}"
+    )

@@ -1,0 +1,173 @@
+"""Ranked outlier-detection results.
+
+The executor returns an :class:`OutlierResult`: the top-k candidates sorted
+by ascending Ω (lower = more outlying, the paper's convention), along with
+the full score map and the execution statistics used by the efficiency
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+from repro.hin.network import VertexId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine.stats import ExecutionStats
+
+__all__ = ["ScoredVertex", "OutlierResult"]
+
+
+@dataclass(frozen=True)
+class ScoredVertex:
+    """One ranked outlier: vertex identity, display name, Ω score, 1-based rank."""
+
+    vertex: VertexId
+    name: str
+    score: float
+    rank: int
+
+
+@dataclass
+class OutlierResult:
+    """Result of one outlier query.
+
+    Attributes
+    ----------
+    outliers:
+        Top-k candidates by ascending Ω.  Ties break by vertex name so
+        results are deterministic.
+    scores:
+        Ω for *every* candidate vertex (not only the top-k).
+    candidate_count, reference_count:
+        Sizes of the evaluated candidate and reference sets.
+    measure:
+        Name of the measure that produced the scores.
+    stats:
+        Per-phase execution statistics (``None`` unless the executor was
+        asked to collect them).
+    """
+
+    outliers: list[ScoredVertex]
+    scores: dict[VertexId, float]
+    candidate_count: int
+    reference_count: int
+    measure: str = "netout"
+    stats: "ExecutionStats | None" = None
+    #: Per-feature-meta-path Ω breakdown (meta-path text -> vertex -> Ω),
+    #: populated for multi-feature queries so users can see *which* aspect
+    #: made a candidate an outlier.  ``None`` for single-feature queries.
+    feature_scores: dict[str, dict[VertexId, float]] | None = None
+
+    def __iter__(self) -> Iterator[ScoredVertex]:
+        return iter(self.outliers)
+
+    def __len__(self) -> int:
+        return len(self.outliers)
+
+    def names(self) -> list[str]:
+        """Outlier display names in rank order."""
+        return [entry.name for entry in self.outliers]
+
+    def score_of(self, vertex: VertexId) -> float:
+        """Ω of a specific candidate vertex (KeyError if not a candidate)."""
+        return self.scores[vertex]
+
+    def to_records(self) -> list[dict]:
+        """The ranking as plain dictionaries (JSON-ready)."""
+        return [
+            {
+                "rank": entry.rank,
+                "name": entry.name,
+                "vertex_type": entry.vertex.type,
+                "vertex_index": entry.vertex.index,
+                "score": entry.score,
+            }
+            for entry in self.outliers
+        ]
+
+    def to_json(self) -> str:
+        """The full result (ranking + metadata) as a JSON document."""
+        return json.dumps(
+            {
+                "measure": self.measure,
+                "candidate_count": self.candidate_count,
+                "reference_count": self.reference_count,
+                "outliers": self.to_records(),
+            }
+        )
+
+    def to_csv(self, handle) -> int:
+        """Write the ranking as CSV to an open text handle; returns rows written."""
+        writer = csv.writer(handle)
+        writer.writerow(["rank", "name", "vertex_type", "vertex_index", "score"])
+        for record in self.to_records():
+            writer.writerow(
+                [
+                    record["rank"],
+                    record["name"],
+                    record["vertex_type"],
+                    record["vertex_index"],
+                    record["score"],
+                ]
+            )
+        return len(self.outliers)
+
+    def to_table(self, *, max_rows: int | None = None) -> str:
+        """Render the ranking as an aligned text table (paper Table 5 style)."""
+        rows = self.outliers if max_rows is None else self.outliers[:max_rows]
+        if not rows:
+            return "(no outliers)"
+        name_width = max(len("Name"), max(len(r.name) for r in rows))
+        lines = [f"{'Rank':>4}  {'Name':<{name_width}}  {'Ω-value':>10}"]
+        for entry in rows:
+            lines.append(
+                f"{entry.rank:>4}  {entry.name:<{name_width}}  {entry.score:>10.4g}"
+            )
+        return "\n".join(lines)
+
+    def explain_vertex(self, vertex: VertexId) -> dict[str, float]:
+        """Per-feature Ω of one candidate (empty for single-feature queries)."""
+        if self.feature_scores is None:
+            return {}
+        return {
+            path_text: per_path[vertex]
+            for path_text, per_path in self.feature_scores.items()
+            if vertex in per_path
+        }
+
+    @classmethod
+    def from_scores(
+        cls,
+        scores: Mapping[VertexId, float],
+        names: Mapping[VertexId, str],
+        *,
+        top_k: int,
+        reference_count: int,
+        measure: str = "netout",
+        stats: "ExecutionStats | None" = None,
+        feature_scores: "dict[str, dict[VertexId, float]] | None" = None,
+    ) -> "OutlierResult":
+        """Rank ``scores`` ascending and keep the ``top_k`` head.
+
+        Ties break by display name, then vertex id, for determinism.
+        """
+        ordered = sorted(
+            scores.items(), key=lambda item: (item[1], names[item[0]], item[0])
+        )
+        outliers = [
+            ScoredVertex(vertex=vertex, name=names[vertex], score=score, rank=rank)
+            for rank, (vertex, score) in enumerate(ordered[:top_k], start=1)
+        ]
+        return cls(
+            outliers=outliers,
+            scores=dict(scores),
+            candidate_count=len(scores),
+            reference_count=reference_count,
+            measure=measure,
+            stats=stats,
+            feature_scores=feature_scores,
+        )

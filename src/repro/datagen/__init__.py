@@ -1,0 +1,50 @@
+"""Data generation: paper fixtures, synthetic corpora, and query workloads.
+
+* :mod:`~repro.datagen.fixtures` — the exact toy networks of the paper's
+  Figure 1(b), Figure 2, and Table 1, used for exact-value tests.
+* :mod:`~repro.datagen.synthetic` — a configurable community-structured
+  DBLP-like bibliographic generator standing in for the AMiner corpus,
+  including the planted outlier archetypes the case studies rely on.
+* :mod:`~repro.datagen.workloads` — Table 4 query-set generation for the
+  efficiency benchmarks.
+* :mod:`~repro.datagen.security` — a second-domain (security-operations)
+  HIN generator demonstrating schema generality.
+* :mod:`~repro.datagen.aminer` — loader for the actual AMiner/ArnetMiner
+  text format the paper evaluates on, for users who download the dump.
+"""
+
+from repro.datagen.fixtures import (
+    figure1_network,
+    figure2_network,
+    table1_network,
+    TABLE1_CANDIDATES,
+    TABLE1_REFERENCE_SIZE,
+)
+from repro.datagen.synthetic import (
+    BibliographicNetworkGenerator,
+    EgoNetworkSpec,
+    GeneratorConfig,
+    hub_ego_corpus,
+)
+from repro.datagen.workloads import generate_query_set, random_author_anchors
+from repro.datagen.security import SecurityNetworkGenerator, security_schema
+from repro.datagen.aminer import iter_aminer_records, load_aminer, parse_aminer
+
+__all__ = [
+    "figure1_network",
+    "figure2_network",
+    "table1_network",
+    "TABLE1_CANDIDATES",
+    "TABLE1_REFERENCE_SIZE",
+    "GeneratorConfig",
+    "BibliographicNetworkGenerator",
+    "EgoNetworkSpec",
+    "hub_ego_corpus",
+    "generate_query_set",
+    "random_author_anchors",
+    "SecurityNetworkGenerator",
+    "security_schema",
+    "parse_aminer",
+    "load_aminer",
+    "iter_aminer_records",
+]

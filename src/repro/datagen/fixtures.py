@@ -1,0 +1,123 @@
+"""Exact toy networks from the paper, used as ground-truth test fixtures.
+
+Each fixture reconstructs a figure or table precisely enough that the
+quantities the paper derives from it are reproduced to the digit:
+
+* :func:`figure1_network` — the instantiated bibliographic network of
+  Figure 1(b): ``|π_APA(Ava, Liam)| = 1``, ``|π_APA(Liam, Zoe)| = 2``,
+  ``φ_APA(Zoe) = [Ava: 1, Liam: 2, Zoe: 5]``,
+  ``φ_APV(Zoe) = [ICDE: 2, KDD: 3]``.
+* :func:`figure2_network` — the Jim/Mary path-counting example of
+  Figure 2: connectivity ``2·4 + 1·2 + 3·6 = 28``, ``κ(Jim, Mary) = 0.5``,
+  ``κ(Mary, Jim) = 2``.
+* :func:`table1_network` — Table 1's candidates (Sarah, Rob, Lucy, Joe,
+  Emma) against 100 reference authors with identical publication records;
+  feeding it to the measures reproduces every Ω value in Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.hin.bibliographic import BibliographicNetworkBuilder, Publication
+from repro.hin.network import HeterogeneousInformationNetwork
+
+__all__ = [
+    "figure1_network",
+    "figure2_network",
+    "table1_network",
+    "TABLE1_CANDIDATES",
+    "TABLE1_REFERENCE_SIZE",
+]
+
+
+def figure1_network() -> HeterogeneousInformationNetwork:
+    """The instantiated bibliographic network of Figure 1(b).
+
+    Zoe has five papers (two in ICDE, three in KDD); exactly one is
+    coauthored with Ava and Liam together and one more with Liam alone,
+    giving the neighbor vectors quoted in Section 3.
+    """
+    builder = BibliographicNetworkBuilder()
+    builder.add_publications(
+        [
+            # Zoe's five papers; p1 with Ava and Liam, p2 with Liam.
+            Publication("p1", ["Zoe", "Ava", "Liam"], "ICDE", terms=["mining"]),
+            Publication("p2", ["Zoe", "Liam"], "ICDE", terms=["graphs"]),
+            Publication("p3", ["Zoe"], "KDD", terms=["mining"]),
+            Publication("p4", ["Zoe"], "KDD", terms=["outliers"]),
+            Publication("p5", ["Zoe"], "KDD", terms=["networks"]),
+        ]
+    )
+    return builder.build()
+
+
+def figure2_network() -> HeterogeneousInformationNetwork:
+    """The Figure 2 example: Jim and Mary publishing in three shared venues.
+
+    Jim's venue counts are (4, 2, 6) and Mary's (2, 1, 3), so the
+    connectivity along ``(A P V P A)`` is ``4·2 + 2·1 + 6·3 = 28`` with
+    visibilities 56 (Jim) and 14 (Mary) — hence κ(Jim, Mary) = 0.5 and
+    κ(Mary, Jim) = 2 exactly as in Section 5.1.
+    """
+    builder = BibliographicNetworkBuilder()
+    publications = []
+    counter = 0
+    venue_counts = {"Jim": (4, 2, 6), "Mary": (2, 1, 3)}
+    for author, counts in venue_counts.items():
+        for venue, paper_count in zip(("V1", "V2", "V3"), counts):
+            for _ in range(paper_count):
+                counter += 1
+                publications.append(
+                    Publication(f"q{counter}", [author], venue, terms=["t"])
+                )
+    builder.add_publications(publications)
+    return builder.build()
+
+
+#: Candidate author names of Table 1, in paper order.
+TABLE1_CANDIDATES = ("Sarah", "Rob", "Lucy", "Joe", "Emma")
+
+#: Size of the Table 1 reference set (identical publication records).
+TABLE1_REFERENCE_SIZE = 100
+
+#: Publication counts per venue: (VLDB, KDD, STOC, SIGGRAPH).
+_TABLE1_RECORDS: dict[str, tuple[int, int, int, int]] = {
+    "Sarah": (10, 10, 1, 1),
+    "Rob": (0, 1, 20, 20),
+    "Lucy": (0, 5, 10, 10),
+    "Joe": (0, 0, 0, 2),
+    "Emma": (0, 0, 0, 30),
+}
+
+_TABLE1_VENUES = ("VLDB", "KDD", "STOC", "SIGGRAPH")
+
+_TABLE1_REFERENCE_RECORD = (10, 10, 1, 1)
+
+
+def table1_network() -> tuple[HeterogeneousInformationNetwork, list[str], list[str]]:
+    """The Table 1 toy data set.
+
+    Returns
+    -------
+    (network, candidates, reference):
+        The network, the candidate author names (Table 1 order), and the
+        100 reference author names (``Ref001`` .. ``Ref100``), each with
+        publication record (VLDB: 10, KDD: 10, STOC: 1, SIGGRAPH: 1).
+    """
+    builder = BibliographicNetworkBuilder()
+    counter = 0
+
+    def add_record(author: str, record: tuple[int, int, int, int]) -> None:
+        nonlocal counter
+        for venue, paper_count in zip(_TABLE1_VENUES, record):
+            for _ in range(paper_count):
+                counter += 1
+                builder.add_publication(
+                    Publication(f"r{counter}", [author], venue, terms=["t"])
+                )
+
+    reference_names = [f"Ref{i:03d}" for i in range(1, TABLE1_REFERENCE_SIZE + 1)]
+    for name in reference_names:
+        add_record(name, _TABLE1_REFERENCE_RECORD)
+    for name in TABLE1_CANDIDATES:
+        add_record(name, _TABLE1_RECORDS[name])
+    return builder.build(), list(TABLE1_CANDIDATES), reference_names

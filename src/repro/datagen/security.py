@@ -1,0 +1,158 @@
+"""A security-operations HIN: the framework beyond bibliography.
+
+The paper (funded by the Army Research Lab) motivates query-based outlier
+detection for security analytics.  This generator builds a heterogeneous
+network of users, hosts, security alerts, and alert categories:
+
+* ``user — host``   (login sessions; parallel edges count logins)
+* ``host — alert``  (alerts raised on the host)
+* ``alert — category`` (each alert has a category)
+
+A *compromised host* is planted: it receives an unusual mix of alert
+categories relative to its peers, so a query like::
+
+    FIND OUTLIERS FROM user{"analyst-0"}.host
+    JUDGED BY host.alert.category
+    TOP 5;
+
+surfaces it — demonstrating that the query language and NetOut work
+unchanged on a non-bibliographic schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hin.builder import NetworkBuilder
+from repro.hin.network import HeterogeneousInformationNetwork
+from repro.hin.schema import NetworkSchema
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require
+
+__all__ = ["security_schema", "SecurityNetworkGenerator", "SecurityCorpus"]
+
+
+def security_schema() -> NetworkSchema:
+    """Schema: user, host, alert, category with login/raise/classify edges."""
+    schema = NetworkSchema(["user", "host", "alert", "category"])
+    schema.add_edge_type("user", "host")
+    schema.add_edge_type("host", "alert")
+    schema.add_edge_type("alert", "category")
+    return schema
+
+
+@dataclass
+class SecurityCorpus:
+    """Generated network plus the planted ground truth."""
+
+    network: HeterogeneousInformationNetwork
+    compromised_hosts: list[str]
+    analyst_users: list[str]
+
+
+_BENIGN_CATEGORIES = (
+    "failed-login",
+    "policy-violation",
+    "av-signature",
+    "port-scan-inbound",
+)
+
+_ATTACK_CATEGORIES = (
+    "lateral-movement",
+    "data-exfiltration",
+    "privilege-escalation",
+    "c2-beacon",
+)
+
+
+class SecurityNetworkGenerator:
+    """Generates a deterministic security-operations network.
+
+    Parameters
+    ----------
+    num_users, num_hosts:
+        Population sizes.
+    logins_per_user:
+        Login sessions per user (hosts drawn with locality: each user has a
+        small working set of hosts).
+    alerts_per_host:
+        Expected benign alerts per host.
+    num_compromised:
+        Hosts to plant with attack-category alert profiles.
+    seed:
+        Determinism seed.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_users: int = 60,
+        num_hosts: int = 80,
+        logins_per_user: int = 30,
+        alerts_per_host: int = 12,
+        num_compromised: int = 2,
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        require(num_users >= 1, "num_users must be >= 1")
+        require(num_hosts >= 2, "num_hosts must be >= 2")
+        require(0 <= num_compromised <= num_hosts, "num_compromised out of range")
+        self.num_users = num_users
+        self.num_hosts = num_hosts
+        self.logins_per_user = logins_per_user
+        self.alerts_per_host = alerts_per_host
+        self.num_compromised = num_compromised
+        self._rng = ensure_rng(seed)
+
+    def generate(self) -> SecurityCorpus:
+        """Build the network and return it with the planted ground truth."""
+        rng = self._rng
+        builder = NetworkBuilder(security_schema())
+        hosts = [f"host-{i:03d}" for i in range(self.num_hosts)]
+        users = [f"analyst-{i}" for i in range(self.num_users)]
+        compromised = list(
+            rng.choice(hosts, size=self.num_compromised, replace=False)
+        )
+
+        # Login sessions: each user works mostly on a local pool of hosts.
+        pool_size = max(3, self.num_hosts // 10)
+        for user in users:
+            pool = rng.choice(self.num_hosts, size=pool_size, replace=False)
+            for _ in range(self.logins_per_user):
+                if rng.random() < 0.1:
+                    host_index = int(rng.integers(self.num_hosts))
+                else:
+                    host_index = int(rng.choice(pool))
+                builder.add_edge("user", user, "host", hosts[host_index])
+
+        # Benign alert background on every host.
+        alert_counter = 0
+        for host in hosts:
+            alert_count = max(1, int(rng.poisson(self.alerts_per_host)))
+            for _ in range(alert_count):
+                alert_counter += 1
+                alert = f"alert-{alert_counter:05d}"
+                category = str(rng.choice(_BENIGN_CATEGORIES))
+                builder.add_edge("host", host, "alert", alert)
+                builder.add_edge("alert", alert, "category", category)
+
+        # Planted compromise: bursts of attack-category alerts.
+        for host in compromised:
+            burst = max(6, self.alerts_per_host)
+            for _ in range(burst):
+                alert_counter += 1
+                alert = f"alert-{alert_counter:05d}"
+                category = str(rng.choice(_ATTACK_CATEGORIES))
+                builder.add_edge("host", host, "alert", alert)
+                builder.add_edge("alert", alert, "category", category)
+            # Make sure the compromised host appears in analyst workflows so
+            # it lands in candidate sets.
+            for user in users[: max(3, self.num_users // 10)]:
+                builder.add_edge("user", user, "host", host)
+
+        return SecurityCorpus(
+            network=builder.build(),
+            compromised_hosts=[str(h) for h in compromised],
+            analyst_users=users,
+        )

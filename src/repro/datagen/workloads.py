@@ -1,0 +1,52 @@
+"""Query-workload generation for the efficiency study (paper §7.1).
+
+The paper randomly selects 10,000 author vertices and substitutes them into
+the Table 4 templates to form the query sets Q1-Q3.  These helpers do the
+same at a configurable scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hin.network import HeterogeneousInformationNetwork
+from repro.query.templates import QueryTemplate
+from repro.utils.rng import ensure_rng
+
+__all__ = ["random_author_anchors", "generate_query_set"]
+
+
+def random_author_anchors(
+    network: HeterogeneousInformationNetwork,
+    count: int,
+    seed: int | np.random.Generator = 0,
+    *,
+    vertex_type: str = "author",
+    with_replacement: bool = False,
+) -> list[str]:
+    """Draw ``count`` random anchor names of ``vertex_type``.
+
+    Sampling is without replacement when the type has enough vertices
+    (matching the paper's random selection); set ``with_replacement`` to
+    allow repeats explicitly.
+    """
+    rng = ensure_rng(seed)
+    names = network.vertex_names(vertex_type)
+    if not names:
+        raise ValueError(f"the network has no vertices of type {vertex_type!r}")
+    replace = with_replacement or count > len(names)
+    chosen = rng.choice(len(names), size=count, replace=replace)
+    return [names[int(i)] for i in chosen]
+
+
+def generate_query_set(
+    network: HeterogeneousInformationNetwork,
+    template: QueryTemplate,
+    count: int,
+    seed: int | np.random.Generator = 0,
+) -> list[str]:
+    """Instantiate ``template`` over ``count`` random anchors (Table 4 style)."""
+    anchors = random_author_anchors(
+        network, count, seed, vertex_type=template.anchor_type
+    )
+    return [template.render(anchor) for anchor in anchors]

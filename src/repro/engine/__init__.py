@@ -1,0 +1,75 @@
+"""Query execution engine (paper Section 6).
+
+Pipeline: parse → validate → evaluate candidate/reference set expressions →
+materialize neighbor vectors for each feature meta-path → score with the
+selected measure → rank.
+
+Three interchangeable materialization strategies implement the paper's
+efficiency comparison:
+
+* :class:`~repro.engine.strategies.BaselineStrategy` — per-vertex frontier
+  traversal, no index (§6.1).
+* :class:`~repro.engine.strategies.PMStrategy` — all length-2 meta-path
+  matrices pre-materialized (§6.2, "Pre-materialization").
+* :class:`~repro.engine.strategies.SPMStrategy` — length-2 rows stored only
+  for vertices frequent in an initialization query workload (§6.2,
+  "Selective pre-materialization").
+
+:class:`~repro.engine.detector.OutlierDetector` is the user-facing facade.
+"""
+
+from repro.engine.stats import (
+    PHASE_INDEXED,
+    PHASE_NOT_INDEXED,
+    PHASE_SCORING,
+    ExecutionStats,
+)
+from repro.engine.index import MetaPathIndex, build_pm_index, build_spm_index
+from repro.engine.strategies import (
+    BaselineStrategy,
+    MaterializationStrategy,
+    PMStrategy,
+    SPMStrategy,
+    make_strategy,
+)
+from repro.engine.evaluator import SetEvaluator
+from repro.engine.executor import QueryExecutor
+from repro.engine.optimizer import WorkloadAnalyzer, select_frequent_vertices
+from repro.engine.plan import QueryPlan, explain
+from repro.engine.advisor import QueryAdvisor, Suggestion, interestingness
+from repro.engine.caching import CachingStrategy
+from repro.engine.index_io import load_index, save_index
+from repro.engine.latency import LatencyReport
+from repro.engine.progressive import ProgressiveQueryExecutor, ProgressiveSnapshot
+from repro.engine.detector import OutlierDetector
+
+__all__ = [
+    "ExecutionStats",
+    "PHASE_NOT_INDEXED",
+    "PHASE_INDEXED",
+    "PHASE_SCORING",
+    "MetaPathIndex",
+    "build_pm_index",
+    "build_spm_index",
+    "MaterializationStrategy",
+    "BaselineStrategy",
+    "PMStrategy",
+    "SPMStrategy",
+    "make_strategy",
+    "SetEvaluator",
+    "QueryExecutor",
+    "WorkloadAnalyzer",
+    "select_frequent_vertices",
+    "QueryPlan",
+    "explain",
+    "QueryAdvisor",
+    "Suggestion",
+    "interestingness",
+    "CachingStrategy",
+    "save_index",
+    "load_index",
+    "LatencyReport",
+    "ProgressiveQueryExecutor",
+    "ProgressiveSnapshot",
+    "OutlierDetector",
+]

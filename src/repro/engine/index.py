@@ -1,0 +1,157 @@
+"""Pre-materialized length-2 meta-path indexes (paper Section 6.2).
+
+The index stores, per length-2 meta-path ``P``, either:
+
+* the **full** count matrix ``M_P`` (PM: every vertex's row retrievable in
+  O(1)), or
+* a **partial** row store ``{vertex index: φ_P(vertex)}`` for a selected
+  vertex subset (SPM).
+
+Index size is accounted in bytes under a conventional CSR storage model
+(8-byte values, 4-byte column indices, 8-byte row pointers) — the quantity
+Figure 5(b) reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from scipy import sparse
+
+from repro.exceptions import ExecutionError
+from repro.hin.network import HeterogeneousInformationNetwork
+from repro.metapath.materialize import materialize, materialize_row
+from repro.metapath.metapath import MetaPath
+from repro.hin.network import VertexId
+from repro.utils.sparsetools import csr_storage_bytes, sparse_row_bytes
+
+__all__ = ["MetaPathIndex", "build_pm_index", "build_spm_index"]
+
+
+class MetaPathIndex:
+    """Row-retrievable store of pre-materialized meta-path count matrices.
+
+    Lookups return 1 x n CSR rows or ``None`` when the row is not stored —
+    the strategy layer decides whether to fall back to traversal.
+    """
+
+    def __init__(self) -> None:
+        self._full: dict[MetaPath, sparse.csr_matrix] = {}
+        self._partial: dict[MetaPath, dict[int, sparse.csr_matrix]] = {}
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def store_full(self, path: MetaPath, matrix: sparse.csr_matrix) -> None:
+        """Store the complete count matrix of ``path``."""
+        self._full[path] = matrix.tocsr()
+        # A full matrix supersedes any partial rows for the same path.
+        self._partial.pop(path, None)
+
+    def store_row(self, path: MetaPath, vertex_index: int, row: sparse.spmatrix) -> None:
+        """Store one vertex's row of ``path`` (SPM-style partial coverage)."""
+        if path in self._full:
+            raise ExecutionError(
+                f"meta-path {path} already has a full matrix; refusing to "
+                "shadow it with partial rows"
+            )
+        csr = row.tocsr()
+        if csr.shape[0] != 1:
+            raise ExecutionError(
+                f"expected a single row for {path}, got shape {csr.shape}"
+            )
+        self._partial.setdefault(path, {})[vertex_index] = csr
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, path: MetaPath, vertex_index: int) -> sparse.csr_matrix | None:
+        """The stored row ``φ_path(vertex)`` or ``None`` when absent."""
+        full = self._full.get(path)
+        if full is not None:
+            if not 0 <= vertex_index < full.shape[0]:
+                return None
+            return full.getrow(vertex_index)
+        rows = self._partial.get(path)
+        if rows is None:
+            return None
+        return rows.get(vertex_index)
+
+    def full_matrix(self, path: MetaPath) -> sparse.csr_matrix | None:
+        """The complete matrix for ``path`` when fully materialized."""
+        return self._full.get(path)
+
+    def has_row(self, path: MetaPath, vertex_index: int) -> bool:
+        full = self._full.get(path)
+        if full is not None:
+            return 0 <= vertex_index < full.shape[0]
+        return vertex_index in self._partial.get(path, {})
+
+    @property
+    def paths(self) -> list[MetaPath]:
+        """All meta-paths with any stored data, full matrices first."""
+        return list(self._full) + [p for p in self._partial if p not in self._full]
+
+    def partial_rows(self, path: MetaPath) -> dict[int, sparse.csr_matrix]:
+        """The stored rows of a partially materialized path (copy of the map).
+
+        Empty for unknown or fully materialized paths.
+        """
+        return dict(self._partial.get(path, {}))
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Total stored bytes under the CSR accounting model."""
+        total = 0
+        for matrix in self._full.values():
+            total += csr_storage_bytes(matrix)
+        for rows in self._partial.values():
+            for row in rows.values():
+                total += sparse_row_bytes(int(row.nnz))
+        return total
+
+    def row_count(self) -> int:
+        """Number of retrievable rows across all paths."""
+        total = sum(matrix.shape[0] for matrix in self._full.values())
+        total += sum(len(rows) for rows in self._partial.values())
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetaPathIndex(full={len(self._full)}, "
+            f"partial={len(self._partial)}, bytes={self.size_bytes()})"
+        )
+
+
+def _all_length2_paths(network: HeterogeneousInformationNetwork) -> list[MetaPath]:
+    return [MetaPath(types) for types in network.schema.length2_metapaths()]
+
+
+def build_pm_index(network: HeterogeneousInformationNetwork) -> MetaPathIndex:
+    """Materialize every legal length-2 meta-path in full (PM, §6.2)."""
+    index = MetaPathIndex()
+    for path in _all_length2_paths(network):
+        index.store_full(path, materialize(network, path))
+    return index
+
+
+def build_spm_index(
+    network: HeterogeneousInformationNetwork,
+    selected: Iterable[VertexId],
+) -> MetaPathIndex:
+    """Materialize length-2 rows only for ``selected`` vertices (SPM, §6.2).
+
+    For each selected vertex, rows are stored for every legal length-2
+    meta-path starting at the vertex's type.
+    """
+    index = MetaPathIndex()
+    paths_by_source: dict[str, list[MetaPath]] = {}
+    for path in _all_length2_paths(network):
+        paths_by_source.setdefault(path.source, []).append(path)
+    for vertex in selected:
+        for path in paths_by_source.get(vertex.type, []):
+            row = materialize_row(network, path, vertex)
+            index.store_row(path, vertex.index, row)
+    return index

@@ -1,0 +1,110 @@
+"""Persistence for pre-materialized meta-path indexes.
+
+PM/SPM indexes are built offline (paper §6.2) and reused across sessions;
+this module saves a :class:`~repro.engine.index.MetaPathIndex` to a
+directory and loads it back:
+
+* ``manifest.json`` — which meta-paths are stored, and how;
+* one ``.npz`` per fully materialized meta-path (scipy CSR format);
+* per partially materialized meta-path, one ``.npz`` holding the stored
+  rows stacked into a matrix plus a ``.rows.npy`` with their vertex indices.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+from scipy import sparse
+
+from repro.engine.index import MetaPathIndex
+from repro.exceptions import ExecutionError
+from repro.metapath.metapath import MetaPath
+
+__all__ = ["save_index", "load_index"]
+
+_MANIFEST_NAME = "manifest.json"
+_FORMAT_VERSION = 1
+
+
+def _file_stem(position: int) -> str:
+    return f"metapath_{position:04d}"
+
+
+def save_index(index: MetaPathIndex, directory: str | Path) -> None:
+    """Write ``index`` into ``directory`` (created if needed)."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    manifest: dict = {"format_version": _FORMAT_VERSION, "full": [], "partial": []}
+
+    position = 0
+    for path in index.paths:
+        stem = _file_stem(position)
+        position += 1
+        full = index.full_matrix(path)
+        if full is not None:
+            sparse.save_npz(target / f"{stem}.npz", full)
+            manifest["full"].append({"path": str(path), "file": f"{stem}.npz"})
+            continue
+        rows = index.partial_rows(path)
+        vertex_indices = sorted(rows)
+        stacked = sparse.vstack(
+            [rows[i] for i in vertex_indices], format="csr"
+        )
+        sparse.save_npz(target / f"{stem}.npz", stacked)
+        np.save(target / f"{stem}.rows.npy", np.asarray(vertex_indices, dtype=np.int64))
+        manifest["partial"].append(
+            {
+                "path": str(path),
+                "file": f"{stem}.npz",
+                "rows_file": f"{stem}.rows.npy",
+            }
+        )
+
+    with open(target / _MANIFEST_NAME, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def load_index(directory: str | Path) -> MetaPathIndex:
+    """Load an index previously written by :func:`save_index`.
+
+    Raises
+    ------
+    ExecutionError
+        On a missing or incompatible manifest, or missing data files.
+    """
+    source = Path(directory)
+    manifest_path = source / _MANIFEST_NAME
+    if not manifest_path.exists():
+        raise ExecutionError(f"no index manifest at {manifest_path}")
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    version = manifest.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ExecutionError(f"unsupported index format version: {version!r}")
+
+    index = MetaPathIndex()
+    for entry in manifest.get("full", []):
+        data_path = source / entry["file"]
+        if not data_path.exists():
+            raise ExecutionError(f"index data file missing: {data_path}")
+        index.store_full(MetaPath.parse(entry["path"]), sparse.load_npz(data_path))
+    for entry in manifest.get("partial", []):
+        data_path = source / entry["file"]
+        rows_path = source / entry["rows_file"]
+        if not data_path.exists() or not rows_path.exists():
+            raise ExecutionError(
+                f"index data files missing for {entry['path']!r}"
+            )
+        stacked = sparse.load_npz(data_path).tocsr()
+        vertex_indices = np.load(rows_path)
+        if stacked.shape[0] != len(vertex_indices):
+            raise ExecutionError(
+                f"corrupt partial index for {entry['path']!r}: "
+                f"{stacked.shape[0]} rows vs {len(vertex_indices)} indices"
+            )
+        path = MetaPath.parse(entry["path"])
+        for row_position, vertex_index in enumerate(vertex_indices):
+            index.store_row(path, int(vertex_index), stacked.getrow(row_position))
+    return index

@@ -1,0 +1,88 @@
+"""Latency reporting for query workloads.
+
+The paper reports totals and averages; production systems also watch tail
+latency.  :class:`LatencyReport` summarizes a workload's per-query wall
+times (mean, percentiles, max) and renders a one-line or tabular view, so
+benchmarks and operators can compare strategies on the metric that matters
+for the paper's "data analysts need to obtain results promptly" motivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.results import OutlierResult
+from repro.exceptions import ExecutionError
+
+__all__ = ["LatencyReport"]
+
+_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Summary statistics over per-query wall times (seconds).
+
+    Attributes
+    ----------
+    count:
+        Number of queries.
+    mean, p50, p90, p99, maximum:
+        The usual suspects, in seconds.
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_seconds(cls, seconds: Sequence[float]) -> "LatencyReport":
+        """Build a report from raw per-query wall times."""
+        values = np.asarray(list(seconds), dtype=float)
+        if values.size == 0:
+            raise ExecutionError("cannot summarize an empty latency sample")
+        if (values < 0).any():
+            raise ExecutionError("latencies must be non-negative")
+        p50, p90, p99 = np.percentile(values, _PERCENTILES)
+        return cls(
+            count=int(values.size),
+            mean=float(values.mean()),
+            p50=float(p50),
+            p90=float(p90),
+            p99=float(p99),
+            maximum=float(values.max()),
+        )
+
+    @classmethod
+    def from_results(cls, results: Sequence[OutlierResult]) -> "LatencyReport":
+        """Build a report from executed results carrying statistics.
+
+        Raises
+        ------
+        ExecutionError
+            If any result lacks stats (executor ran with
+            ``collect_stats=False``) or the sequence is empty.
+        """
+        seconds = []
+        for result in results:
+            if result.stats is None:
+                raise ExecutionError(
+                    "results carry no ExecutionStats; run the executor with "
+                    "collect_stats=True"
+                )
+            seconds.append(result.stats.wall_seconds)
+        return cls.from_seconds(seconds)
+
+    def describe(self) -> str:
+        """One-line milliseconds rendering."""
+        return (
+            f"n={self.count}  mean={self.mean * 1e3:.2f}ms  "
+            f"p50={self.p50 * 1e3:.2f}ms  p90={self.p90 * 1e3:.2f}ms  "
+            f"p99={self.p99 * 1e3:.2f}ms  max={self.maximum * 1e3:.2f}ms"
+        )

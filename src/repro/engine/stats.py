@@ -1,0 +1,109 @@
+"""Execution statistics for the efficiency study (paper Figures 3-5).
+
+The paper's in-depth analysis (Figure 4) splits query processing time into
+three phases, which we reproduce verbatim:
+
+* ``PHASE_NOT_INDEXED`` — meta-path materialization by traversal, for
+  vertices without a pre-materialized row;
+* ``PHASE_INDEXED`` — loading pre-materialized rows from the index;
+* ``PHASE_SCORING`` — the outlierness (NetOut) calculation itself.
+
+:class:`ExecutionStats` accumulates these per query and merges across a
+query set, which is exactly how the figures aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.timers import PhaseTimer
+
+__all__ = [
+    "PHASE_NOT_INDEXED",
+    "PHASE_INDEXED",
+    "PHASE_SCORING",
+    "ExecutionStats",
+]
+
+PHASE_NOT_INDEXED = "not_indexed_vectors"
+PHASE_INDEXED = "indexed_vectors"
+PHASE_SCORING = "outlierness_calculation"
+
+
+@dataclass
+class ExecutionStats:
+    """Per-phase timings and materialization counters for query execution.
+
+    Attributes
+    ----------
+    timer:
+        Wall-clock accumulation per phase (seconds).
+    traversed_vectors:
+        Number of neighbor vectors materialized by traversal.
+    indexed_vectors:
+        Number of neighbor vectors served (at least partly) from an index.
+    queries:
+        Number of queries folded into this object (1 for a single run,
+        larger after :meth:`merge`).
+    """
+
+    timer: PhaseTimer = field(default_factory=PhaseTimer)
+    traversed_vectors: int = 0
+    indexed_vectors: int = 0
+    queries: int = 1
+    #: End-to-end wall time of the query (parse to ranked result).  The
+    #: three tracked phases cover materialization and scoring; wall time
+    #: additionally includes parsing, validation, and set bookkeeping —
+    #: this is the "total execution time" Figure 3 plots.
+    wall_seconds: float = 0.0
+
+    # -- phase accessors -------------------------------------------------
+    @property
+    def not_indexed_seconds(self) -> float:
+        return self.timer.total(PHASE_NOT_INDEXED)
+
+    @property
+    def indexed_seconds(self) -> float:
+        return self.timer.total(PHASE_INDEXED)
+
+    @property
+    def scoring_seconds(self) -> float:
+        return self.timer.total(PHASE_SCORING)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.timer.grand_total
+
+    # -- aggregation -----------------------------------------------------
+    def merge(self, other: "ExecutionStats") -> None:
+        """Fold another query's stats into this aggregate."""
+        self.timer.merge(other.timer)
+        self.traversed_vectors += other.traversed_vectors
+        self.indexed_vectors += other.indexed_vectors
+        self.queries += other.queries
+        self.wall_seconds += other.wall_seconds
+
+    @classmethod
+    def aggregate(cls, stats: list["ExecutionStats"]) -> "ExecutionStats":
+        """Combine a list of per-query stats into one (``queries`` = total)."""
+        total = cls(queries=0)
+        for item in stats:
+            total.merge(item)
+        return total
+
+    def breakdown(self) -> dict[str, float]:
+        """Phase-name → seconds map in paper (Figure 4) order."""
+        return {
+            PHASE_NOT_INDEXED: self.not_indexed_seconds,
+            PHASE_INDEXED: self.indexed_seconds,
+            PHASE_SCORING: self.scoring_seconds,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExecutionStats(queries={self.queries}, "
+            f"total={self.total_seconds * 1e3:.2f} ms, "
+            f"not_indexed={self.not_indexed_seconds * 1e3:.2f} ms, "
+            f"indexed={self.indexed_seconds * 1e3:.2f} ms, "
+            f"scoring={self.scoring_seconds * 1e3:.2f} ms)"
+        )

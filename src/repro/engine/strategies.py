@@ -1,0 +1,383 @@
+"""Meta-path materialization strategies (paper Sections 6.1-6.2).
+
+A strategy answers one question: *given a meta-path ``P`` and a start
+vertex, produce the neighbor vector ``φ_P``* — and accounts the time spent
+under the paper's phase taxonomy (not-indexed traversal vs indexed lookup).
+
+* :class:`BaselineStrategy` materializes every vector by frontier traversal
+  over the adjacency structure (dictionary accumulation, one hop at a
+  time).  This models the paper's unindexed executor: per-vertex graph
+  traversal whose cost grows with path length and vertex degree.
+* :class:`PMStrategy` holds a full length-2 index: the first two hops are a
+  row lookup, and remaining length-2 segments are row x cached-matrix
+  products (the "multiplication of indexed vectors" of §6.2).
+* :class:`SPMStrategy` holds a partial index: rows exist only for selected
+  vertices.  Hits are lookups; misses fall back to two-hop traversal —
+  producing exactly the phase mix Figure 4 analyzes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+from scipy import sparse
+
+from repro.engine.index import MetaPathIndex, build_pm_index, build_spm_index
+from repro.engine.stats import PHASE_INDEXED, PHASE_NOT_INDEXED, ExecutionStats
+from repro.exceptions import ExecutionError, MetaPathError
+from repro.hin.network import HeterogeneousInformationNetwork, VertexId
+from repro.metapath.counting import neighbor_counts
+from repro.metapath.materialize import decompose_length2
+from repro.metapath.metapath import MetaPath
+
+__all__ = [
+    "MaterializationStrategy",
+    "BaselineStrategy",
+    "PMStrategy",
+    "SPMStrategy",
+    "make_strategy",
+]
+
+
+def _counts_to_row(counts: dict[int, float], width: int) -> sparse.csr_matrix:
+    """Pack a sparse ``{index: count}`` map into a 1 x width CSR row."""
+    if not counts:
+        return sparse.csr_matrix((1, width), dtype=float)
+    indices = sorted(counts)
+    data = [counts[i] for i in indices]
+    return sparse.csr_matrix(
+        (data, ([0] * len(indices), indices)), shape=(1, width), dtype=float
+    )
+
+
+def _identity_row(width: int, index: int) -> sparse.csr_matrix:
+    return sparse.csr_matrix(([1.0], ([0], [index])), shape=(1, width), dtype=float)
+
+
+class MaterializationStrategy(abc.ABC):
+    """Produces neighbor vectors ``φ_P`` and accounts the time per phase."""
+
+    #: Registry/reporting name; subclasses set this.
+    name: str = ""
+
+    def __init__(self, network: HeterogeneousInformationNetwork) -> None:
+        self.network = network
+
+    @abc.abstractmethod
+    def neighbor_row(
+        self,
+        path: MetaPath,
+        vertex_index: int,
+        stats: ExecutionStats | None = None,
+    ) -> sparse.csr_matrix:
+        """``φ_path(vertex)`` as a 1 x n CSR row over the target type."""
+
+    def neighbor_matrix(
+        self,
+        path: MetaPath,
+        vertex_indices: Sequence[int],
+        stats: ExecutionStats | None = None,
+    ) -> sparse.csr_matrix:
+        """Stacked ``φ_path`` rows for ``vertex_indices`` (len x n CSR).
+
+        The default implementation stacks per-vertex rows; subclasses may
+        override with bulk paths.
+        """
+        width = self.network.num_vertices(path.target)
+        if not vertex_indices:
+            return sparse.csr_matrix((0, width), dtype=float)
+        rows = [self.neighbor_row(path, index, stats) for index in vertex_indices]
+        return sparse.vstack(rows, format="csr")
+
+    def index_size_bytes(self) -> int:
+        """Bytes of index storage this strategy holds (0 when unindexed)."""
+        return 0
+
+    def _check_path(self, path: MetaPath) -> None:
+        path.validate(self.network.schema)
+
+
+class BaselineStrategy(MaterializationStrategy):
+    """Unindexed execution: per-vertex frontier traversal (paper §6.1)."""
+
+    name = "baseline"
+
+    def neighbor_row(self, path, vertex_index, stats=None) -> sparse.csr_matrix:
+        self._check_path(path)
+        width = self.network.num_vertices(path.target)
+        if stats is None:
+            counts = neighbor_counts(
+                self.network, path, VertexId(path.source, vertex_index)
+            )
+            return _counts_to_row(counts, width)
+        with stats.timer.phase(PHASE_NOT_INDEXED):
+            counts = neighbor_counts(
+                self.network, path, VertexId(path.source, vertex_index)
+            )
+            row = _counts_to_row(counts, width)
+        stats.traversed_vectors += 1
+        return row
+
+
+class PMStrategy(MaterializationStrategy):
+    """Full length-2 pre-materialization (paper §6.2, PM).
+
+    Parameters
+    ----------
+    network:
+        The network to execute over.
+    index:
+        A pre-built index; when ``None`` every legal length-2 meta-path is
+        materialized up front (the build cost is paid here, not at query
+        time, matching the paper's offline indexing setting).
+    """
+
+    name = "pm"
+
+    def __init__(
+        self,
+        network: HeterogeneousInformationNetwork,
+        index: MetaPathIndex | None = None,
+        *,
+        allow_stale: bool = False,
+    ) -> None:
+        super().__init__(network)
+        self.index = index if index is not None else build_pm_index(network)
+        # Snapshot the network's mutation counter: a pre-built index is
+        # presumed consistent with the network *as passed in*.
+        self._built_version = network.version
+        self._allow_stale = allow_stale
+
+    def index_size_bytes(self) -> int:
+        return self.index.size_bytes()
+
+    def _check_fresh(self) -> None:
+        if self._allow_stale:
+            return
+        if self.network.version != self._built_version:
+            raise ExecutionError(
+                "the network changed after the PM index was built "
+                f"(version {self._built_version} -> {self.network.version}); "
+                "rebuild the index or pass allow_stale=True"
+            )
+
+    def neighbor_row(self, path, vertex_index, stats=None) -> sparse.csr_matrix:
+        self._check_path(path)
+        self._check_fresh()
+        width = self.network.num_vertices(path.target)
+        source_width = self.network.num_vertices(path.source)
+
+        def compute() -> sparse.csr_matrix:
+            if path.length == 0:
+                return _identity_row(width, vertex_index)
+            segments, tail = decompose_length2(path)
+            if not segments:
+                # Single-hop path: one adjacency row slice.
+                return self.network.adjacency(path.types[0], path.types[1]).getrow(
+                    vertex_index
+                )
+            first = self.index.lookup(segments[0], vertex_index)
+            if first is None:
+                raise ExecutionError(
+                    f"PM index is missing a row for {segments[0]} "
+                    f"(vertex {vertex_index}); was it built for this network?"
+                )
+            row = first
+            for segment in segments[1:]:
+                matrix = self.index.full_matrix(segment)
+                if matrix is None:
+                    raise ExecutionError(
+                        f"PM index is missing the matrix for {segment}"
+                    )
+                row = row @ matrix
+            if tail is not None:
+                row = row @ self.network.adjacency(tail.types[0], tail.types[1])
+            return row.tocsr()
+
+        if vertex_index < 0 or vertex_index >= source_width:
+            raise MetaPathError(
+                f"vertex index {vertex_index} out of range for type {path.source!r}"
+            )
+        if stats is None:
+            return compute()
+        with stats.timer.phase(PHASE_INDEXED):
+            row = compute()
+        stats.indexed_vectors += 1
+        return row
+
+    def neighbor_matrix(self, path, vertex_indices, stats=None) -> sparse.csr_matrix:
+        """Bulk path: slice all first-segment rows at once, then multiply."""
+        self._check_path(path)
+        self._check_fresh()
+        width = self.network.num_vertices(path.target)
+        if len(vertex_indices) == 0:
+            return sparse.csr_matrix((0, width), dtype=float)
+
+        def compute() -> sparse.csr_matrix:
+            if path.length == 0:
+                size = self.network.num_vertices(path.source)
+                rows = [_identity_row(size, i) for i in vertex_indices]
+                return sparse.vstack(rows, format="csr")
+            segments, tail = decompose_length2(path)
+            if not segments:
+                adjacency = self.network.adjacency(path.types[0], path.types[1])
+                return adjacency[list(vertex_indices), :].tocsr()
+            first = self.index.full_matrix(segments[0])
+            if first is None:
+                raise ExecutionError(
+                    f"PM index is missing the matrix for {segments[0]}"
+                )
+            block = first[list(vertex_indices), :]
+            for segment in segments[1:]:
+                matrix = self.index.full_matrix(segment)
+                if matrix is None:
+                    raise ExecutionError(
+                        f"PM index is missing the matrix for {segment}"
+                    )
+                block = block @ matrix
+            if tail is not None:
+                block = block @ self.network.adjacency(tail.types[0], tail.types[1])
+            return block.tocsr()
+
+        if stats is None:
+            return compute()
+        with stats.timer.phase(PHASE_INDEXED):
+            block = compute()
+        stats.indexed_vectors += len(vertex_indices)
+        return block
+
+
+class SPMStrategy(MaterializationStrategy):
+    """Selective pre-materialization (paper §6.2, SPM).
+
+    Index rows exist only for a selected vertex subset; other vertices fall
+    back to two-hop frontier traversal.  Each materialized vector is
+    attributed to the indexed phase when its *start* row came from the
+    index, else to the not-indexed phase, mirroring the paper's Figure 4
+    accounting.
+    """
+
+    name = "spm"
+
+    def __init__(
+        self,
+        network: HeterogeneousInformationNetwork,
+        index: MetaPathIndex | None = None,
+        selected: Iterable[VertexId] | None = None,
+        *,
+        allow_stale: bool = False,
+    ) -> None:
+        super().__init__(network)
+        if index is None:
+            index = build_spm_index(network, selected or [])
+        self.index = index
+        self._built_version = network.version
+        self._allow_stale = allow_stale
+
+    def index_size_bytes(self) -> int:
+        return self.index.size_bytes()
+
+    def _check_fresh(self) -> None:
+        if self._allow_stale:
+            return
+        if self.network.version != self._built_version:
+            raise ExecutionError(
+                "the network changed after the SPM index was built "
+                f"(version {self._built_version} -> {self.network.version}); "
+                "rebuild the index or pass allow_stale=True"
+            )
+
+    def _segment_row(
+        self,
+        segment: MetaPath,
+        vertex_index: int,
+        stats: ExecutionStats | None,
+    ) -> sparse.csr_matrix:
+        """One vertex's row of a length-2 segment: lookup or traversal."""
+        width = self.network.num_vertices(segment.target)
+        hit = self.index.lookup(segment, vertex_index)
+        if hit is not None:
+            if stats is not None:
+                stats.indexed_vectors += 1
+            return hit
+        if stats is not None:
+            stats.traversed_vectors += 1
+        counts = neighbor_counts(
+            self.network, segment, VertexId(segment.source, vertex_index)
+        )
+        return _counts_to_row(counts, width)
+
+    def neighbor_row(self, path, vertex_index, stats=None) -> sparse.csr_matrix:
+        self._check_path(path)
+        self._check_fresh()
+        width = self.network.num_vertices(path.target)
+        if path.length == 0:
+            return _identity_row(width, vertex_index)
+        segments, tail = decompose_length2(path)
+        if not segments:
+            # Single hop: always a direct adjacency slice (cheap, indexed-like).
+            if stats is None:
+                return self.network.adjacency(path.types[0], path.types[1]).getrow(
+                    vertex_index
+                )
+            with stats.timer.phase(PHASE_INDEXED):
+                row = self.network.adjacency(path.types[0], path.types[1]).getrow(
+                    vertex_index
+                )
+            stats.indexed_vectors += 1
+            return row
+
+        first_hit = self.index.has_row(segments[0], vertex_index)
+        phase = PHASE_INDEXED if first_hit else PHASE_NOT_INDEXED
+
+        def compute() -> sparse.csr_matrix:
+            row = self._segment_row(segments[0], vertex_index, stats)
+            for segment in segments[1:]:
+                # Expand through the segment: Σ_j row[j] · φ_segment(vj).
+                accumulator: sparse.csr_matrix | None = None
+                for j, weight in zip(row.indices, row.data):
+                    contribution = self._segment_row(segment, int(j), stats)
+                    term = contribution.multiply(weight)
+                    accumulator = term if accumulator is None else accumulator + term
+                if accumulator is None:
+                    return sparse.csr_matrix(
+                        (1, self.network.num_vertices(segment.target)), dtype=float
+                    )
+                row = accumulator.tocsr()
+            if tail is not None:
+                row = row @ self.network.adjacency(tail.types[0], tail.types[1])
+            return row.tocsr()
+
+        if stats is None:
+            return compute()
+        with stats.timer.phase(phase):
+            return compute()
+
+
+def make_strategy(
+    network: HeterogeneousInformationNetwork,
+    name: str,
+    *,
+    index: MetaPathIndex | None = None,
+    selected: Iterable[VertexId] | None = None,
+) -> MaterializationStrategy:
+    """Instantiate a strategy by name: ``"baseline"``, ``"pm"``, or ``"spm"``.
+
+    Parameters
+    ----------
+    index:
+        Pre-built index for ``"pm"``/``"spm"`` (built on demand otherwise).
+    selected:
+        SPM only: vertices to index when no pre-built index is supplied.
+    """
+    lowered = name.lower()
+    if lowered == "baseline":
+        return BaselineStrategy(network)
+    if lowered == "pm":
+        return PMStrategy(network, index=index)
+    if lowered == "spm":
+        return SPMStrategy(network, index=index, selected=selected)
+    raise ExecutionError(
+        f"unknown strategy {name!r}; expected baseline, pm, or spm"
+    )

@@ -1,0 +1,90 @@
+"""Ranking-quality metrics for outlier-detection evaluation.
+
+Planted-outlier experiments (the Table 3 shape checks, the detector
+ablation) judge a ranking against known ground truth.  These are the
+standard retrieval metrics over ranked lists, shared by the benchmarks and
+available to downstream users evaluating their own measures.
+
+All functions take the ranked list *most-outlying first* and a collection
+of relevant (ground-truth) items.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Sequence
+
+from repro.exceptions import MeasureError
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "average_precision",
+    "reciprocal_rank",
+    "rank_of",
+]
+
+
+def _check_k(k: int) -> None:
+    if k < 1:
+        raise MeasureError(f"k must be >= 1, got {k}")
+
+
+def precision_at_k(ranked: Sequence, relevant: Collection, k: int) -> float:
+    """Fraction of the first ``k`` ranked items that are relevant.
+
+    The denominator is ``k`` even when fewer items are available (standard
+    retrieval convention: a short ranking cannot earn full precision).
+    """
+    _check_k(k)
+    relevant_set = set(relevant)
+    hits = sum(1 for item in ranked[:k] if item in relevant_set)
+    return hits / k
+
+
+def recall_at_k(ranked: Sequence, relevant: Collection, k: int) -> float:
+    """Fraction of the relevant items found within the first ``k``.
+
+    Returns 0.0 for an empty relevant set (nothing to recall).
+    """
+    _check_k(k)
+    relevant_set = set(relevant)
+    if not relevant_set:
+        return 0.0
+    hits = sum(1 for item in ranked[:k] if item in relevant_set)
+    return hits / len(relevant_set)
+
+
+def average_precision(ranked: Sequence, relevant: Collection) -> float:
+    """Mean of precision@rank over the ranks where relevant items appear.
+
+    The canonical AP with the relevant-set size as the normalizer, so
+    relevant items missing from the ranking count as misses.  Returns 0.0
+    for an empty relevant set.
+    """
+    relevant_set = set(relevant)
+    if not relevant_set:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for position, item in enumerate(ranked, start=1):
+        if item in relevant_set:
+            hits += 1
+            precision_sum += hits / position
+    return precision_sum / len(relevant_set)
+
+
+def reciprocal_rank(ranked: Sequence, relevant: Collection) -> float:
+    """1 / rank of the first relevant item (0.0 when none appears)."""
+    relevant_set = set(relevant)
+    for position, item in enumerate(ranked, start=1):
+        if item in relevant_set:
+            return 1.0 / position
+    return 0.0
+
+
+def rank_of(item, ranked: Sequence) -> int | None:
+    """1-based rank of ``item`` in the list, or ``None`` when absent."""
+    for position, candidate in enumerate(ranked, start=1):
+        if candidate == item:
+            return position
+    return None

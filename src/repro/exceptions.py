@@ -1,0 +1,99 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch a single base class at an API
+boundary.  Sub-classes partition errors by subsystem: schema/graph
+construction, meta-path algebra, query parsing and validation, and query
+execution.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "NetworkError",
+    "VertexNotFoundError",
+    "MetaPathError",
+    "QueryError",
+    "QuerySyntaxError",
+    "QuerySemanticError",
+    "ExecutionError",
+    "MeasureError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A network schema is malformed or an operation violates the schema.
+
+    Examples: declaring an edge type between undeclared vertex types, or
+    registering the same vertex type twice with conflicting metadata.
+    """
+
+
+class NetworkError(ReproError):
+    """An operation on a heterogeneous information network is invalid.
+
+    Examples: adding an edge whose endpoints were never added, or adding a
+    vertex whose type is not in the schema.
+    """
+
+
+class VertexNotFoundError(NetworkError, KeyError):
+    """A vertex lookup by (type, name) or id failed.
+
+    Inherits :class:`KeyError` so mapping-style call sites behave naturally.
+    """
+
+    def __init__(self, message: str):
+        # Bypass KeyError.__str__ which repr()s its single argument.
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.message
+
+
+class MetaPathError(ReproError):
+    """A meta-path is malformed or incompatible with the schema.
+
+    Examples: concatenating paths whose junction types differ, or
+    materializing a meta-path that traverses a non-existent edge type.
+    """
+
+
+class QueryError(ReproError):
+    """Base class for errors in the outlier query language."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text could not be tokenized or parsed.
+
+    Carries the offending position so tools can point at the error.
+    """
+
+    def __init__(self, message: str, *, position: int | None = None, line: int | None = None):
+        super().__init__(message)
+        self.position = position
+        self.line = line
+
+
+class QuerySemanticError(QueryError):
+    """The query parsed but is invalid against the network schema.
+
+    Examples: a feature meta-path that does not start at the candidate
+    type, a vertex type that does not exist, or an empty candidate set
+    expression.
+    """
+
+
+class ExecutionError(ReproError):
+    """Query execution failed after parsing and validation succeeded."""
+
+
+class MeasureError(ReproError):
+    """An outlierness measure was misconfigured or given invalid input."""

@@ -1,0 +1,59 @@
+"""Canonical edge iteration for serialization and copying.
+
+Replaying :meth:`HeterogeneousInformationNetwork.add_edge` mirrors
+symmetric relations automatically, so a serializer must emit each logical
+edge exactly once — in a form whose replay reproduces every adjacency
+matrix bit for bit.  The rules, per relation:
+
+* **directed** (``symmetric=False``): every stored entry is its own logical
+  edge; emit all of them (both same-type and cross-type directed relations);
+* **symmetric, different types**: the reverse matrix is the mirror; emit
+  the canonical direction only;
+* **symmetric, same type**: the single matrix holds both mirror entries;
+  emit the upper triangle (``i < j``), and halve diagonal entries
+  (``add_edge(u, u, c)`` stores ``2c`` because the mirror lands in the same
+  cell).
+
+:func:`canonical_edges` is the single implementation used by JSON/TSV
+persistence, subnetwork induction, and networkx export.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.hin.network import HeterogeneousInformationNetwork, VertexId
+
+__all__ = ["canonical_edges"]
+
+
+def canonical_edges(
+    network: HeterogeneousInformationNetwork,
+) -> Iterator[tuple[VertexId, VertexId, float]]:
+    """Yield ``(u, v, count)`` triples whose replay reproduces the network.
+
+    Replaying means calling ``add_edge(u, v, count)`` for every triple on an
+    empty network with the same schema; afterwards every adjacency matrix
+    equals the original exactly.
+    """
+    schema = network.schema
+    seen_pairs: set[tuple[str, str]] = set()
+    for edge_type in sorted(schema.edge_types, key=str):
+        symmetric = schema.is_symmetric(edge_type.source, edge_type.target)
+        if symmetric and (edge_type.target, edge_type.source) in seen_pairs:
+            continue
+        seen_pairs.add((edge_type.source, edge_type.target))
+        matrix = network.adjacency(edge_type.source, edge_type.target).tocoo()
+        same_type = edge_type.source == edge_type.target
+        for i, j, count in zip(matrix.row, matrix.col, matrix.data):
+            i, j, count = int(i), int(j), float(count)
+            if symmetric and same_type:
+                if i > j:
+                    continue  # the lower triangle is the mirror
+                if i == j:
+                    count /= 2.0  # add_edge doubles self-loops on replay
+            yield (
+                VertexId(edge_type.source, i),
+                VertexId(edge_type.target, j),
+                count,
+            )

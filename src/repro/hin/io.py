@@ -1,0 +1,153 @@
+"""Persistence for heterogeneous information networks.
+
+Two formats are supported:
+
+* **JSON** — a single self-describing document with the schema, vertex
+  registries (including attributes), and edge lists.  Round-trips exactly.
+* **TSV edge lists** — the common interchange format for HIN datasets: one
+  file with ``source_type  source_name  target_type  target_name  [count]``
+  per line, plus an accompanying schema.  Attributes are not preserved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO
+
+from repro.exceptions import NetworkError
+from repro.hin.edges import canonical_edges
+from repro.hin.network import HeterogeneousInformationNetwork, VertexId
+from repro.hin.schema import NetworkSchema
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "save_json",
+    "load_json",
+    "write_edge_list",
+    "read_edge_list",
+]
+
+_FORMAT_VERSION = 2
+
+
+def network_to_dict(network: HeterogeneousInformationNetwork) -> dict:
+    """Serialize a network to a JSON-compatible dictionary."""
+    schema = network.schema
+    vertices = {}
+    for vertex_type in sorted(schema.vertex_types):
+        records = []
+        for vertex_id in network.vertices(vertex_type):
+            vertex = network.vertex(vertex_id)
+            record: dict = {"name": vertex.name}
+            if vertex.attributes:
+                record["attributes"] = vertex.attributes
+            records.append(record)
+        vertices[vertex_type] = records
+
+    edges = [
+        {
+            "source_type": u.type,
+            "source": u.index,
+            "target_type": v.type,
+            "target": v.index,
+            "count": count,
+        }
+        for u, v, count in canonical_edges(network)
+    ]
+
+    return {
+        "format_version": _FORMAT_VERSION,
+        "schema": {
+            "vertex_types": sorted(schema.vertex_types),
+            "edge_types": sorted(
+                (
+                    {
+                        "source": et.source,
+                        "target": et.target,
+                        "symmetric": schema.is_symmetric(et.source, et.target),
+                    }
+                    for et in schema.edge_types
+                ),
+                key=lambda e: (e["source"], e["target"]),
+            ),
+        },
+        "vertices": vertices,
+        "edges": edges,
+    }
+
+
+def network_from_dict(data: dict) -> HeterogeneousInformationNetwork:
+    """Deserialize a network produced by :func:`network_to_dict`."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise NetworkError(f"unsupported network format version: {version!r}")
+    schema = NetworkSchema(data["schema"]["vertex_types"])
+    for entry in data["schema"]["edge_types"]:
+        # Every registered direction is listed; symmetric relations carry
+        # the flag so edge insertions mirror correctly after reload.
+        schema.add_edge_type(
+            entry["source"], entry["target"], symmetric=entry["symmetric"]
+        )
+    network = HeterogeneousInformationNetwork(schema)
+    for vertex_type, records in data["vertices"].items():
+        for record in records:
+            network.add_vertex(vertex_type, record["name"], record.get("attributes"))
+    for edge in data["edges"]:
+        u = VertexId(edge["source_type"], edge["source"])
+        v = VertexId(edge["target_type"], edge["target"])
+        network.add_edge(u, v, edge.get("count", 1.0))
+    return network
+
+
+def save_json(network: HeterogeneousInformationNetwork, path: str | Path) -> None:
+    """Write ``network`` to ``path`` as JSON."""
+    payload = network_to_dict(network)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def load_json(path: str | Path) -> HeterogeneousInformationNetwork:
+    """Read a network previously written by :func:`save_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return network_from_dict(json.load(handle))
+
+
+def write_edge_list(network: HeterogeneousInformationNetwork, handle: TextIO) -> int:
+    """Write tab-separated edges to an open text handle.
+
+    Returns the number of lines written.  Symmetric relations are written
+    once, in the canonical (lexicographically smaller source type) direction.
+    """
+    lines = 0
+    for u, v, count in canonical_edges(network):
+        handle.write(
+            f"{u.type}\t{network.vertex_name(u)}\t"
+            f"{v.type}\t{network.vertex_name(v)}\t{count:g}\n"
+        )
+        lines += 1
+    return lines
+
+
+def read_edge_list(
+    handle: TextIO, schema: NetworkSchema
+) -> HeterogeneousInformationNetwork:
+    """Read a tab-separated edge list into a new network over ``schema``."""
+    network = HeterogeneousInformationNetwork(schema)
+    for line_number, line in enumerate(handle, start=1):
+        line = line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        if len(fields) not in (4, 5):
+            raise NetworkError(
+                f"edge list line {line_number}: expected 4 or 5 tab-separated "
+                f"fields, got {len(fields)}"
+            )
+        source_type, source_name, target_type, target_name = fields[:4]
+        count = float(fields[4]) if len(fields) == 5 else 1.0
+        u = network.add_vertex(source_type, source_name)
+        v = network.add_vertex(target_type, target_name)
+        network.add_edge(u, v, count)
+    return network

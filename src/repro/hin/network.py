@@ -1,0 +1,330 @@
+"""The heterogeneous information network store.
+
+Design
+------
+Vertices of each type live in a contiguous per-type index space, so a vertex
+is identified by a :class:`VertexId` ``(type, index)``.  Each registered edge
+type ``(S, T)`` owns one sparse matrix ``A[S,T]`` of shape
+``(num_vertices(S), num_vertices(T))`` whose entry ``(i, j)`` is the number of
+parallel edges between the ``i``-th S-vertex and the ``j``-th T-vertex.
+
+This layout makes meta-path materialization a chain of sparse matrix
+products (paper Section 6) while keeping per-vertex traversal cheap through
+CSR row slicing.
+
+Mutation model: edges are buffered in per-edge-type COO lists; adjacency
+matrices are (re)built lazily on first access after a mutation.  This keeps
+bulk loading linear while leaving reads cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import NetworkError, VertexNotFoundError
+from repro.hin.schema import EdgeType, NetworkSchema
+
+__all__ = ["VertexId", "Vertex", "HeterogeneousInformationNetwork"]
+
+
+@dataclass(frozen=True, order=True)
+class VertexId:
+    """Identifies a vertex by its type and its index within that type."""
+
+    type: str
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.type}#{self.index}"
+
+
+@dataclass
+class Vertex:
+    """A vertex record: identity, display name, and free-form attributes."""
+
+    id: VertexId
+    name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def type(self) -> str:
+        return self.id.type
+
+
+class _EdgeBuffer:
+    """COO-style buffer of edge endpoints for one edge type."""
+
+    __slots__ = ("rows", "cols", "counts")
+
+    def __init__(self) -> None:
+        self.rows: list[int] = []
+        self.cols: list[int] = []
+        self.counts: list[float] = []
+
+    def add(self, row: int, col: int, count: float) -> None:
+        self.rows.append(row)
+        self.cols.append(col)
+        self.counts.append(count)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class HeterogeneousInformationNetwork:
+    """A multi-typed graph with per-edge-type sparse adjacency.
+
+    Parameters
+    ----------
+    schema:
+        The :class:`~repro.hin.schema.NetworkSchema` this network instantiates.
+
+    Examples
+    --------
+    >>> from repro.hin import bibliographic_schema
+    >>> net = HeterogeneousInformationNetwork(bibliographic_schema())
+    >>> ava = net.add_vertex("author", "Ava")
+    >>> p1 = net.add_vertex("paper", "p1")
+    >>> kdd = net.add_vertex("venue", "KDD")
+    >>> net.add_edge(p1, ava)
+    >>> net.add_edge(p1, kdd)
+    >>> net.num_vertices("author")
+    1
+    """
+
+    def __init__(self, schema: NetworkSchema) -> None:
+        self._schema = schema
+        # Per-type registries.
+        self._names: dict[str, list[str]] = {t: [] for t in schema.vertex_types}
+        self._name_index: dict[str, dict[str, int]] = {t: {} for t in schema.vertex_types}
+        self._attributes: dict[str, list[dict[str, Any]]] = {t: [] for t in schema.vertex_types}
+        # Edge storage: buffered COO triples + lazily built CSR per edge type.
+        self._buffers: dict[EdgeType, _EdgeBuffer] = {}
+        self._adjacency: dict[EdgeType, sparse.csr_matrix] = {}
+        self._dirty: set[EdgeType] = set()
+        self._num_edges = 0
+        # Mutation counter: bumps on every vertex/edge insertion so index
+        # layers can detect staleness (see repro.engine.strategies).
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # Vertices
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> NetworkSchema:
+        return self._schema
+
+    def add_vertex(
+        self,
+        vertex_type: str,
+        name: str,
+        attributes: Mapping[str, Any] | None = None,
+    ) -> VertexId:
+        """Add a vertex and return its id.
+
+        Adding a vertex with a ``(type, name)`` pair that already exists
+        returns the existing id (names are unique per type); attributes of
+        the existing vertex are left untouched.
+        """
+        if not self._schema.has_vertex_type(vertex_type):
+            raise NetworkError(f"vertex type {vertex_type!r} is not in the schema")
+        index_map = self._name_index[vertex_type]
+        existing = index_map.get(name)
+        if existing is not None:
+            return VertexId(vertex_type, existing)
+        index = len(self._names[vertex_type])
+        self._version += 1
+        self._names[vertex_type].append(name)
+        index_map[name] = index
+        self._attributes[vertex_type].append(dict(attributes or {}))
+        # Grown vertex counts invalidate matrix shapes for this type.
+        for edge_type in list(self._adjacency):
+            if vertex_type in (edge_type.source, edge_type.target):
+                self._dirty.add(edge_type)
+        return VertexId(vertex_type, index)
+
+    def add_vertices(self, vertex_type: str, names: Iterable[str]) -> list[VertexId]:
+        """Bulk-add vertices; returns their ids in input order."""
+        return [self.add_vertex(vertex_type, name) for name in names]
+
+    def vertex(self, vertex_id: VertexId) -> Vertex:
+        """Full vertex record for ``vertex_id``."""
+        self._check_id(vertex_id)
+        return Vertex(
+            id=vertex_id,
+            name=self._names[vertex_id.type][vertex_id.index],
+            attributes=self._attributes[vertex_id.type][vertex_id.index],
+        )
+
+    def find_vertex(self, vertex_type: str, name: str) -> VertexId:
+        """Look up a vertex by type and exact name.
+
+        Raises
+        ------
+        VertexNotFoundError
+            If no such vertex exists.
+        """
+        if not self._schema.has_vertex_type(vertex_type):
+            raise VertexNotFoundError(f"vertex type {vertex_type!r} is not in the schema")
+        index = self._name_index[vertex_type].get(name)
+        if index is None:
+            raise VertexNotFoundError(f"no {vertex_type} vertex named {name!r}")
+        return VertexId(vertex_type, index)
+
+    def has_vertex(self, vertex_type: str, name: str) -> bool:
+        return (
+            self._schema.has_vertex_type(vertex_type)
+            and name in self._name_index[vertex_type]
+        )
+
+    def vertex_name(self, vertex_id: VertexId) -> str:
+        self._check_id(vertex_id)
+        return self._names[vertex_id.type][vertex_id.index]
+
+    def num_vertices(self, vertex_type: str | None = None) -> int:
+        """Vertex count for one type, or across all types when ``None``."""
+        if vertex_type is None:
+            return sum(len(names) for names in self._names.values())
+        if not self._schema.has_vertex_type(vertex_type):
+            raise NetworkError(f"vertex type {vertex_type!r} is not in the schema")
+        return len(self._names[vertex_type])
+
+    def vertices(self, vertex_type: str) -> Iterator[VertexId]:
+        """Iterate all vertex ids of one type in index order."""
+        if not self._schema.has_vertex_type(vertex_type):
+            raise NetworkError(f"vertex type {vertex_type!r} is not in the schema")
+        for index in range(len(self._names[vertex_type])):
+            yield VertexId(vertex_type, index)
+
+    def vertex_names(self, vertex_type: str) -> list[str]:
+        """All names of one type, in index order (copy)."""
+        if not self._schema.has_vertex_type(vertex_type):
+            raise NetworkError(f"vertex type {vertex_type!r} is not in the schema")
+        return list(self._names[vertex_type])
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+    def add_edge(self, u: VertexId, v: VertexId, count: float = 1.0) -> None:
+        """Add ``count`` parallel edges between ``u`` and ``v``.
+
+        The edge type ``(u.type, v.type)`` must exist in the schema.  If the
+        reverse edge type is also registered (the symmetric/undirected
+        default), the reverse direction is recorded as well so that both
+        adjacency matrices stay transposes of one another.
+        """
+        self._check_id(u)
+        self._check_id(v)
+        if count <= 0:
+            raise NetworkError(f"edge count must be positive, got {count}")
+        if not self._schema.has_edge_type(u.type, v.type):
+            raise NetworkError(
+                f"edge type {u.type}-{v.type} is not registered in the schema"
+            )
+        self._buffer_for(EdgeType(u.type, v.type)).add(u.index, v.index, count)
+        self._dirty.add(EdgeType(u.type, v.type))
+        # Mirror into the reverse adjacency only for symmetric relations —
+        # a directed relation (symmetric=False) stays one-way even when its
+        # endpoints share a type or the opposite direction is registered
+        # separately.
+        if self._schema.is_symmetric(u.type, v.type):
+            self._buffer_for(EdgeType(v.type, u.type)).add(v.index, u.index, count)
+            self._dirty.add(EdgeType(v.type, u.type))
+        self._num_edges += 1
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: increments on every vertex or edge insertion.
+
+        Index layers snapshot this at build time to detect staleness.
+        """
+        return self._version
+
+    def num_edges(self) -> int:
+        """Number of (undirected) edge insertions made so far."""
+        return self._num_edges
+
+    def adjacency(self, source_type: str, target_type: str) -> sparse.csr_matrix:
+        """The adjacency matrix of edge type ``(source_type, target_type)``.
+
+        Shape is ``(num_vertices(source_type), num_vertices(target_type))``;
+        entries are parallel-edge counts.  The returned matrix is the
+        network's cached instance — treat it as read-only.
+        """
+        edge_type = EdgeType(source_type, target_type)
+        if not self._schema.has_edge_type(source_type, target_type):
+            raise NetworkError(
+                f"edge type {source_type}-{target_type} is not registered in the schema"
+            )
+        if edge_type in self._dirty or edge_type not in self._adjacency:
+            self._rebuild(edge_type)
+        return self._adjacency[edge_type]
+
+    def degree(self, vertex_id: VertexId, neighbor_type: str) -> float:
+        """Total edge count from ``vertex_id`` to vertices of ``neighbor_type``."""
+        matrix = self.adjacency(vertex_id.type, neighbor_type)
+        row = matrix.indptr[vertex_id.index], matrix.indptr[vertex_id.index + 1]
+        return float(matrix.data[row[0]:row[1]].sum())
+
+    def neighbors(self, vertex_id: VertexId, neighbor_type: str) -> list[VertexId]:
+        """Distinct one-hop neighbors of ``vertex_id`` with type ``neighbor_type``."""
+        matrix = self.adjacency(vertex_id.type, neighbor_type)
+        start, stop = matrix.indptr[vertex_id.index], matrix.indptr[vertex_id.index + 1]
+        return [VertexId(neighbor_type, int(j)) for j in matrix.indices[start:stop]]
+
+    def neighbor_counts(self, vertex_id: VertexId, neighbor_type: str) -> dict[int, float]:
+        """Map neighbor index -> parallel edge count for one-hop neighbors."""
+        matrix = self.adjacency(vertex_id.type, neighbor_type)
+        start, stop = matrix.indptr[vertex_id.index], matrix.indptr[vertex_id.index + 1]
+        return {
+            int(j): float(c)
+            for j, c in zip(matrix.indices[start:stop], matrix.data[start:stop])
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _buffer_for(self, edge_type: EdgeType) -> _EdgeBuffer:
+        buffer = self._buffers.get(edge_type)
+        if buffer is None:
+            buffer = _EdgeBuffer()
+            self._buffers[edge_type] = buffer
+        return buffer
+
+    def _rebuild(self, edge_type: EdgeType) -> None:
+        buffer = self._buffers.get(edge_type, _EdgeBuffer())
+        shape = (
+            len(self._names[edge_type.source]),
+            len(self._names[edge_type.target]),
+        )
+        matrix = sparse.coo_matrix(
+            (
+                np.asarray(buffer.counts, dtype=np.float64),
+                (
+                    np.asarray(buffer.rows, dtype=np.int64),
+                    np.asarray(buffer.cols, dtype=np.int64),
+                ),
+            ),
+            shape=shape,
+        ).tocsr()
+        # Duplicate COO entries are summed by tocsr(), which is exactly the
+        # parallel-edge-count semantics we want.
+        matrix.sum_duplicates()
+        self._adjacency[edge_type] = matrix
+        self._dirty.discard(edge_type)
+
+    def _check_id(self, vertex_id: VertexId) -> None:
+        if not self._schema.has_vertex_type(vertex_id.type):
+            raise VertexNotFoundError(f"vertex type {vertex_id.type!r} is not in the schema")
+        if not 0 <= vertex_id.index < len(self._names[vertex_id.type]):
+            raise VertexNotFoundError(
+                f"no {vertex_id.type} vertex with index {vertex_id.index}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = {t: len(n) for t, n in sorted(self._names.items())}
+        return f"HIN(vertices={counts}, edges={self._num_edges})"

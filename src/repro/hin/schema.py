@@ -1,0 +1,194 @@
+"""Network schemas: the type-level description of a HIN.
+
+A schema declares the set of vertex types and the set of *edge types*.
+Following Definition 1 of the paper, the network is formally directed; an
+undirected relation (e.g. paper–author) is represented by a symmetric pair
+of directed edge types.  :meth:`NetworkSchema.add_edge_type` therefore
+registers both directions by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.exceptions import SchemaError
+
+__all__ = ["EdgeType", "NetworkSchema", "bibliographic_schema"]
+
+
+@dataclass(frozen=True)
+class EdgeType:
+    """A directed edge type between two vertex types.
+
+    Attributes
+    ----------
+    source:
+        Vertex type at the tail of the edge.
+    target:
+        Vertex type at the head of the edge.
+    """
+
+    source: str
+    target: str
+
+    def reversed(self) -> "EdgeType":
+        """The edge type with source and target swapped."""
+        return EdgeType(self.target, self.source)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.source}-{self.target}"
+
+
+class NetworkSchema:
+    """Vertex and edge types of a heterogeneous information network.
+
+    The schema is the single source of truth for what meta-paths are legal:
+    a meta-path ``(T0 T1 ... Tl)`` is valid iff every consecutive pair
+    ``(Tx, Tx+1)`` is a registered edge type.
+
+    Parameters
+    ----------
+    vertex_types:
+        Optional initial vertex type names.
+    """
+
+    def __init__(self, vertex_types: Iterable[str] = ()) -> None:
+        self._vertex_types: set[str] = set()
+        self._edge_types: set[EdgeType] = set()
+        # Relations registered as symmetric (undirected): for these,
+        # inserting an edge (u, v) also populates the reverse adjacency.
+        self._symmetric: set[EdgeType] = set()
+        for vertex_type in vertex_types:
+            self.add_vertex_type(vertex_type)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex_type(self, name: str) -> None:
+        """Register a vertex type.  Re-registering the same name is a no-op."""
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"vertex type must be a non-empty string, got {name!r}")
+        if not name.isidentifier():
+            raise SchemaError(
+                f"vertex type {name!r} must be a valid identifier so it can be "
+                "referenced from the query language"
+            )
+        self._vertex_types.add(name)
+
+    def add_edge_type(self, source: str, target: str, *, symmetric: bool = True) -> None:
+        """Register an edge type between two previously declared vertex types.
+
+        Parameters
+        ----------
+        source, target:
+            Endpoint vertex types (must already be registered).
+        symmetric:
+            When true (default) the reverse direction is registered too,
+            modelling an undirected relation as two directed edge types.
+        """
+        for endpoint in (source, target):
+            if endpoint not in self._vertex_types:
+                raise SchemaError(
+                    f"cannot add edge type {source}-{target}: vertex type "
+                    f"{endpoint!r} is not declared"
+                )
+        self._edge_types.add(EdgeType(source, target))
+        if symmetric:
+            self._edge_types.add(EdgeType(target, source))
+            self._symmetric.add(EdgeType(source, target))
+            self._symmetric.add(EdgeType(target, source))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def vertex_types(self) -> frozenset[str]:
+        return frozenset(self._vertex_types)
+
+    @property
+    def edge_types(self) -> frozenset[EdgeType]:
+        return frozenset(self._edge_types)
+
+    def has_vertex_type(self, name: str) -> bool:
+        return name in self._vertex_types
+
+    def has_edge_type(self, source: str, target: str) -> bool:
+        return EdgeType(source, target) in self._edge_types
+
+    def is_symmetric(self, source: str, target: str) -> bool:
+        """True when the relation was registered as symmetric (undirected).
+
+        Symmetric relations mirror edge insertions into the reverse
+        adjacency; directed relations (``symmetric=False``) do not — which
+        is what makes a same-type directed relation (e.g. ``paper cites
+        paper``) genuinely one-way.
+        """
+        return EdgeType(source, target) in self._symmetric
+
+    def neighbor_types(self, vertex_type: str) -> frozenset[str]:
+        """Vertex types reachable from ``vertex_type`` by one edge type."""
+        if vertex_type not in self._vertex_types:
+            raise SchemaError(f"unknown vertex type {vertex_type!r}")
+        return frozenset(e.target for e in self._edge_types if e.source == vertex_type)
+
+    def validate_type_sequence(self, types: Iterable[str]) -> None:
+        """Raise :class:`SchemaError` unless ``types`` is a legal meta-path.
+
+        A legal sequence has at least one type, every type registered, and
+        every consecutive pair a registered edge type.
+        """
+        sequence = list(types)
+        if not sequence:
+            raise SchemaError("a meta-path needs at least one vertex type")
+        for vertex_type in sequence:
+            if vertex_type not in self._vertex_types:
+                raise SchemaError(f"unknown vertex type {vertex_type!r} in meta-path")
+        for left, right in zip(sequence, sequence[1:]):
+            if not self.has_edge_type(left, right):
+                raise SchemaError(
+                    f"meta-path step {left}-{right} is not a registered edge type"
+                )
+
+    def length2_metapaths(self) -> Iterator[tuple[str, str, str]]:
+        """Yield every legal length-2 type sequence ``(T0, T1, T2)``.
+
+        These are exactly the meta-paths the PM strategy pre-materializes
+        (paper Section 6.2).
+        """
+        for first in sorted(self._edge_types, key=str):
+            for second in sorted(self._edge_types, key=str):
+                if first.target == second.source:
+                    yield (first.source, first.target, second.target)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NetworkSchema):
+            return NotImplemented
+        return (
+            self._vertex_types == other._vertex_types
+            and self._edge_types == other._edge_types
+            and self._symmetric == other._symmetric
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetworkSchema(vertex_types={sorted(self._vertex_types)}, "
+            f"edge_types={sorted(map(str, self._edge_types))})"
+        )
+
+
+def bibliographic_schema() -> NetworkSchema:
+    """The DBLP-style schema of the paper's running example (Figure 1a).
+
+    Vertex types: ``author``, ``paper``, ``venue``, ``term``.  Papers link to
+    authors (written-by), venues (published-in), and terms (title-contains);
+    all relations are symmetric.
+    """
+    schema = NetworkSchema(["author", "paper", "venue", "term"])
+    schema.add_edge_type("paper", "author")
+    schema.add_edge_type("paper", "venue")
+    schema.add_edge_type("paper", "term")
+    return schema

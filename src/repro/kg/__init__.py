@@ -1,0 +1,19 @@
+"""Knowledge-graph (open-schema) front end (paper §8).
+
+Section 8: *"our query language can be applied to open-schema networks such
+as a knowledge graph, and the baseline implementation of NetOut should also
+be applicable."*
+
+* :mod:`~repro.kg.triples` — a triple store (subject, predicate, object)
+  with type inference from ``type``-like predicates, plus two conversions
+  to a HIN: **predicate reification** (each predicate becomes a statement
+  vertex type, so meta-paths read ``person.acted_in.movie``) and direct
+  edges (predicates between the same type pair merge).
+* :mod:`~repro.kg.demo` — a deterministic movie-domain knowledge graph
+  with a planted outlier, used by the tests and examples.
+"""
+
+from repro.kg.triples import KnowledgeGraph, Triple
+from repro.kg.demo import movie_knowledge_graph
+
+__all__ = ["KnowledgeGraph", "Triple", "movie_knowledge_graph"]

@@ -1,0 +1,78 @@
+"""A deterministic movie-domain knowledge graph with a planted outlier.
+
+The graph has people, movies, and genres; people ``acted_in`` movies and
+movies ``has_genre`` genres.  Most actors work within one genre cluster;
+one planted actor's filmography spans an otherwise-unrelated genre — the
+open-schema analogue of the paper's cross-field author.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kg.triples import KnowledgeGraph
+from repro.utils.rng import ensure_rng
+
+__all__ = ["MovieCorpus", "movie_knowledge_graph"]
+
+_GENRES = ("drama", "comedy", "thriller", "scifi", "documentary")
+
+
+@dataclass
+class MovieCorpus:
+    """The generated knowledge graph plus its planted ground truth."""
+
+    graph: KnowledgeGraph
+    outlier_actor: str
+    cluster_actors: list[str]
+
+
+def movie_knowledge_graph(
+    *,
+    actors_per_genre: int = 12,
+    movies_per_genre: int = 20,
+    seed: int = 0,
+) -> MovieCorpus:
+    """Build the demo graph.
+
+    Each genre gets its own actor pool and movies; actors appear in 2-5
+    movies of their genre.  The planted outlier, ``Kit Sterling``, acts in
+    drama-cluster productions socially (shared movies with drama actors)
+    but most of their filmography is documentaries.
+    """
+    rng = ensure_rng(seed)
+    kg = KnowledgeGraph()
+    cluster_actors: list[str] = []
+
+    for genre in _GENRES:
+        actors = [f"{genre.title()} Actor {i:02d}" for i in range(actors_per_genre)]
+        movies = [f"{genre.title()} Movie {i:02d}" for i in range(movies_per_genre)]
+        for actor in actors:
+            kg.add(actor, "type", "person")
+        for movie in movies:
+            kg.add(movie, "type", "movie")
+            kg.add(movie, "has genre", genre)
+        kg.add(genre, "type", "genre")
+        for movie in movies:
+            cast_size = int(rng.integers(2, 5))
+            cast = rng.choice(actors, size=cast_size, replace=False)
+            for actor in cast:
+                kg.add(str(actor), "acted in", movie)
+        if genre == "drama":
+            cluster_actors = actors
+
+    # The planted outlier: one drama co-production, many documentaries.
+    outlier = "Kit Sterling"
+    kg.add(outlier, "type", "person")
+    kg.add(outlier, "acted in", "Drama Movie 00")
+    for i in range(8):
+        title = f"Kit Documentary {i}"
+        kg.add(title, "type", "movie")
+        kg.add(title, "has genre", "documentary")
+        kg.add(outlier, "acted in", title)
+
+    return MovieCorpus(
+        graph=kg,
+        outlier_actor=outlier,
+        cluster_actors=cluster_actors,
+    )

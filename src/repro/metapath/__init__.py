@@ -1,0 +1,41 @@
+"""Meta-path algebra, path counting, and sparse materialization.
+
+A meta-path (paper Definition 2) is an ordered sequence of vertex types.
+This package provides:
+
+* :class:`~repro.metapath.metapath.MetaPath` — the value type, with reversal,
+  concatenation, and symmetric-closure operators (Definitions 3-4, §5.1).
+* :mod:`~repro.metapath.counting` — per-vertex traversal-based path-instance
+  counting and neighbor vectors (Definitions 5-7).  This is the engine's
+  *Baseline* code path.
+* :mod:`~repro.metapath.materialize` — whole-matrix materialization by
+  sparse matrix products and the length-2 decomposition the PM/SPM indexes
+  rely on (§6.2).
+"""
+
+from repro.metapath.metapath import MetaPath, WeightedMetaPath
+from repro.metapath.counting import (
+    count_path_instances,
+    enumerate_path_instances,
+    neighbor_counts,
+    neighbor_vector_dense,
+    neighborhood,
+)
+from repro.metapath.materialize import (
+    decompose_length2,
+    materialize,
+    materialize_row,
+)
+
+__all__ = [
+    "MetaPath",
+    "WeightedMetaPath",
+    "count_path_instances",
+    "enumerate_path_instances",
+    "neighbor_counts",
+    "neighbor_vector_dense",
+    "neighborhood",
+    "decompose_length2",
+    "materialize",
+    "materialize_row",
+]

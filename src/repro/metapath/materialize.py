@@ -1,0 +1,101 @@
+"""Sparse-matrix materialization of meta-paths.
+
+The count matrix of meta-path ``P = (T0 T1 ... Tl)`` is the product of the
+per-edge-type adjacency matrices:
+
+    M_P = A[T0,T1] @ A[T1,T2] @ ... @ A[T(l-1),Tl]
+
+so that ``M_P[i, j] = |π_P(vi, vj)|`` and ``φ_P(vi)`` is row ``i`` of
+``M_P``.  Section 6.2 of the paper observes that any meta-path decomposes
+into a chain of length-2 meta-paths (plus one single hop when the length is
+odd), which is what lets the PM/SPM indexes cover arbitrary paths while only
+storing length-2 products.
+"""
+
+from __future__ import annotations
+
+from scipy import sparse
+
+from repro.exceptions import MetaPathError
+from repro.hin.network import HeterogeneousInformationNetwork, VertexId
+from repro.metapath.metapath import MetaPath
+
+__all__ = ["materialize", "materialize_row", "decompose_length2"]
+
+
+def materialize(
+    network: HeterogeneousInformationNetwork,
+    path: MetaPath,
+) -> sparse.csr_matrix:
+    """The full count matrix ``M_P`` of ``path`` over ``network``.
+
+    A length-0 path (single type) materializes to the identity: the only
+    instance of ``(T)`` starting at ``v`` is ``v`` itself.
+
+    Raises
+    ------
+    MetaPathError
+        If any step of ``path`` is not a registered edge type.
+    """
+    path.validate(network.schema)
+    size = network.num_vertices(path.source)
+    if path.length == 0:
+        return sparse.identity(size, dtype=float, format="csr")
+    product: sparse.csr_matrix | None = None
+    for left, right in zip(path.types, path.types[1:]):
+        step = network.adjacency(left, right)
+        product = step if product is None else product @ step
+    return product.tocsr()
+
+
+def materialize_row(
+    network: HeterogeneousInformationNetwork,
+    path: MetaPath,
+    start: VertexId,
+) -> sparse.csr_matrix:
+    """``φ_P(start)`` as a 1 x n sparse row, computed by vector-matrix chain.
+
+    Unlike :func:`materialize`, this never forms intermediate full products:
+    it starts from the indicator row of ``start`` and multiplies through the
+    edge matrices, which is how the engine computes single neighbor vectors
+    when a whole-matrix product is not cached.
+    """
+    if start.type != path.source:
+        raise MetaPathError(
+            f"vertex {start} cannot start meta-path {path}: expected type "
+            f"{path.source!r}"
+        )
+    size = network.num_vertices(path.source)
+    row = sparse.csr_matrix(
+        ([1.0], ([0], [start.index])), shape=(1, size), dtype=float
+    )
+    for left, right in zip(path.types, path.types[1:]):
+        row = row @ network.adjacency(left, right)
+    return row.tocsr()
+
+
+def decompose_length2(path: MetaPath) -> tuple[list[MetaPath], MetaPath | None]:
+    """Split ``path`` into length-2 segments plus an optional length-1 tail.
+
+    Returns ``(segments, tail)`` where each segment has exactly two hops and
+    ``tail`` is a single-hop meta-path when ``path`` has odd length, else
+    ``None``.  Concatenating ``segments + [tail]`` reproduces ``path``.
+    This mirrors the decomposition in Section 6.2 that PM/SPM indexes use.
+
+    >>> segments, tail = decompose_length2(MetaPath.parse("a.p.v.p.t"))
+    >>> [str(s) for s in segments]
+    ['a.p.v', 'v.p.t']
+    >>> tail is None
+    True
+    """
+    if path.length == 0:
+        return [], None
+    segments: list[MetaPath] = []
+    position = 0
+    while path.length - position >= 2:
+        segments.append(MetaPath(path.types[position:position + 3]))
+        position += 2
+    tail: MetaPath | None = None
+    if position < path.length:
+        tail = MetaPath(path.types[position:position + 2])
+    return segments, tail

@@ -1,0 +1,197 @@
+"""The :class:`MetaPath` value type and its algebra.
+
+Paper Definitions 2-4: a meta-path is an ordered sequence of vertex types
+``(T0 T1 ... Tl)``; it can be *reversed* (``P⁻¹ = (Tl ... T0)``) and two
+paths can be *concatenated* when the junction types match.  Section 5.1
+additionally builds the *symmetric* meta-path ``Psym = P · P⁻¹`` that links
+the candidate type to itself — the backbone of normalized connectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.exceptions import MetaPathError
+from repro.hin.schema import NetworkSchema
+
+__all__ = ["MetaPath", "WeightedMetaPath"]
+
+
+@dataclass(frozen=True)
+class MetaPath:
+    """An ordered, immutable sequence of vertex types.
+
+    Examples
+    --------
+    >>> coauthor = MetaPath(("author", "paper", "author"))
+    >>> str(coauthor)
+    'author.paper.author'
+    >>> venue = MetaPath.parse("author.paper.venue")
+    >>> venue.reversed()
+    MetaPath(types=('venue', 'paper', 'author'))
+    >>> str(venue.symmetric())
+    'author.paper.venue.paper.author'
+    """
+
+    types: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.types:
+            raise MetaPathError("a meta-path needs at least one vertex type")
+        for vertex_type in self.types:
+            if not isinstance(vertex_type, str) or not vertex_type:
+                raise MetaPathError(
+                    f"meta-path types must be non-empty strings, got {vertex_type!r}"
+                )
+        # Normalize lists/iterables passed positionally into a tuple.
+        object.__setattr__(self, "types", tuple(self.types))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "MetaPath":
+        """Parse the dotted form used by the query language, e.g. ``"a.p.v"``."""
+        parts = [part.strip() for part in text.split(".")]
+        if any(not part for part in parts):
+            raise MetaPathError(f"malformed meta-path text: {text!r}")
+        return cls(tuple(parts))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> str:
+        """First vertex type — the type being characterized."""
+        return self.types[0]
+
+    @property
+    def target(self) -> str:
+        """Last vertex type — the feature dimension type."""
+        return self.types[-1]
+
+    @property
+    def length(self) -> int:
+        """Number of edges (hops), i.e. ``len(types) - 1``."""
+        return len(self.types) - 1
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when the path reads the same forwards and backwards."""
+        return self.types == tuple(reversed(self.types))
+
+    # ------------------------------------------------------------------
+    # Algebra (paper Definitions 3-4, Section 5.1)
+    # ------------------------------------------------------------------
+    def reversed(self) -> "MetaPath":
+        """``P⁻¹``: the path with its type sequence reversed (Definition 3)."""
+        return MetaPath(tuple(reversed(self.types)))
+
+    def concat(self, other: "MetaPath") -> "MetaPath":
+        """``P · other``: concatenation at a shared junction type (Definition 4).
+
+        Raises
+        ------
+        MetaPathError
+            If ``self.target != other.source``.
+        """
+        if self.target != other.source:
+            raise MetaPathError(
+                f"cannot concatenate {self} with {other}: junction types differ "
+                f"({self.target!r} vs {other.source!r})"
+            )
+        return MetaPath(self.types + other.types[1:])
+
+    def symmetric(self) -> "MetaPath":
+        """``Psym = P · P⁻¹``: links the source type to itself (Section 5.1)."""
+        return self.concat(self.reversed())
+
+    def prefix(self, num_types: int) -> "MetaPath":
+        """The meta-path over the first ``num_types`` types."""
+        if not 1 <= num_types <= len(self.types):
+            raise MetaPathError(
+                f"prefix length {num_types} out of range for {self}"
+            )
+        return MetaPath(self.types[:num_types])
+
+    def validate(self, schema: NetworkSchema) -> None:
+        """Raise :class:`~repro.exceptions.MetaPathError` if illegal in ``schema``."""
+        try:
+            schema.validate_type_sequence(self.types)
+        except Exception as error:
+            raise MetaPathError(str(error)) from error
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.types)
+
+    def __len__(self) -> int:
+        return len(self.types)
+
+    def __str__(self) -> str:
+        return ".".join(self.types)
+
+
+@dataclass(frozen=True)
+class WeightedMetaPath:
+    """A feature meta-path with a user-assigned weight (paper §4.2).
+
+    The query language defaults unweighted paths to weight 1.0.
+    """
+
+    path: MetaPath
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise MetaPathError(
+                f"meta-path weight must be positive, got {self.weight}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "WeightedMetaPath":
+        """Parse ``"a.p.v"`` or ``"a.p.v: 2.0"`` into a weighted path."""
+        if ":" in text:
+            path_text, _, weight_text = text.partition(":")
+            try:
+                weight = float(weight_text.strip())
+            except ValueError as error:
+                raise MetaPathError(
+                    f"malformed meta-path weight in {text!r}"
+                ) from error
+            return cls(MetaPath.parse(path_text.strip()), weight)
+        return cls(MetaPath.parse(text.strip()))
+
+    def __str__(self) -> str:
+        if self.weight == 1.0:
+            return str(self.path)
+        return f"{self.path}: {self.weight:g}"
+
+
+def normalize_paths(
+    paths: Sequence[MetaPath | WeightedMetaPath | str],
+) -> list[WeightedMetaPath]:
+    """Coerce a mixed sequence into :class:`WeightedMetaPath` objects.
+
+    Accepts dotted strings (optionally ``": weight"`` suffixed), bare
+    :class:`MetaPath` objects (weight defaults to 1.0), and pre-weighted
+    paths (passed through).
+    """
+    normalized: list[WeightedMetaPath] = []
+    for item in paths:
+        if isinstance(item, WeightedMetaPath):
+            normalized.append(item)
+        elif isinstance(item, MetaPath):
+            normalized.append(WeightedMetaPath(item))
+        elif isinstance(item, str):
+            normalized.append(WeightedMetaPath.parse(item))
+        else:
+            raise MetaPathError(
+                f"cannot interpret {item!r} as a (weighted) meta-path"
+            )
+    if not normalized:
+        raise MetaPathError("at least one feature meta-path is required")
+    return normalized

@@ -1,0 +1,71 @@
+"""The outlier query language (paper Section 4).
+
+The language has the shape::
+
+    FIND OUTLIERS FROM <set-expression>
+    [COMPARED TO <set-expression>]
+    JUDGED BY <meta-path>[: weight] (, <meta-path>[: weight])*
+    [TOP <k>];
+
+Set expressions anchor at a named vertex and walk a meta-path
+(``venue{"EDBT"}.paper.author``), may be aliased (``AS A``), filtered
+(``WHERE COUNT(A.paper) > 10``), and combined with ``UNION`` / ``INTERSECT``
+/ ``EXCEPT``.  The paper's Table 4 also spells the candidate clause as
+``FIND OUTLIERS IN ...``; both keywords are accepted.
+
+Pipeline: :func:`tokenize` → :func:`parse_query` → AST (:mod:`repro.query.ast`)
+→ :func:`validate_query` against a schema → execution by
+:mod:`repro.engine`.  :func:`format_query` renders an AST back to canonical
+text and round-trips through the parser.
+"""
+
+from repro.query.tokens import Token, TokenType, tokenize
+from repro.query.ast import (
+    BooleanCondition,
+    Chain,
+    Comparison,
+    Condition,
+    FeaturePath,
+    FilteredSet,
+    NotCondition,
+    Query,
+    SetExpression,
+    SetOperation,
+)
+from repro.query.parser import parse_query, parse_set_expression
+from repro.query.semantics import ValidatedQuery, validate_query
+from repro.query.formatter import format_query, format_set_expression
+from repro.query.templates import (
+    QUERY_TEMPLATES,
+    QueryTemplate,
+    TEMPLATE_Q1,
+    TEMPLATE_Q2,
+    TEMPLATE_Q3,
+)
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "Query",
+    "SetExpression",
+    "Chain",
+    "SetOperation",
+    "FilteredSet",
+    "Condition",
+    "Comparison",
+    "BooleanCondition",
+    "NotCondition",
+    "FeaturePath",
+    "parse_query",
+    "parse_set_expression",
+    "validate_query",
+    "ValidatedQuery",
+    "format_query",
+    "format_set_expression",
+    "QueryTemplate",
+    "QUERY_TEMPLATES",
+    "TEMPLATE_Q1",
+    "TEMPLATE_Q2",
+    "TEMPLATE_Q3",
+]

@@ -1,0 +1,207 @@
+"""Abstract syntax tree for the outlier query language.
+
+The AST mirrors the general outlier query of Definition 8:
+``Q = (Sc, Sr, P, w)`` — a candidate set expression, an optional reference
+set expression (defaulting to the candidate set), a list of weighted feature
+meta-paths, and the number of outliers to return.
+
+All nodes are frozen dataclasses so they hash and compare structurally,
+which the formatter round-trip tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Union
+
+__all__ = [
+    "Condition",
+    "Comparison",
+    "AttributeComparison",
+    "BooleanCondition",
+    "NotCondition",
+    "SetExpression",
+    "Chain",
+    "SetOperation",
+    "FilteredSet",
+    "FeaturePath",
+    "Query",
+    "DEFAULT_TOP_K",
+]
+
+DEFAULT_TOP_K = 10
+
+ComparisonOperator = Literal[">", ">=", "<", "<=", "=", "!="]
+AggregateFunction = Literal["COUNT", "PATHS"]
+SetOperator = Literal["UNION", "INTERSECT", "EXCEPT"]
+
+
+# ----------------------------------------------------------------------
+# WHERE-clause conditions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Comparison:
+    """``COUNT(alias.step1.step2) > value`` style atomic predicate.
+
+    Attributes
+    ----------
+    function:
+        ``COUNT`` counts distinct vertices in the neighborhood ``N_P``;
+        ``PATHS`` sums path-instance counts (``‖φ_P‖₁``).
+    alias:
+        The set alias (or member type name) the walk starts from.
+    steps:
+        The vertex types walked from each member vertex — at least one.
+    operator, value:
+        The comparison applied to the aggregate.
+    """
+
+    function: AggregateFunction
+    alias: str
+    steps: tuple[str, ...]
+    operator: ComparisonOperator
+    value: float
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a WHERE comparison needs at least one step")
+
+
+@dataclass(frozen=True)
+class AttributeComparison:
+    """``alias.attribute <op> literal`` — a predicate on vertex attributes.
+
+    Examples: ``A.year >= 2000``, ``A.city = "Boston"``.  A vertex whose
+    attribute is missing, or whose attribute type does not match the
+    literal, fails the predicate (SQL NULL-style semantics).
+
+    Attributes
+    ----------
+    alias:
+        The set alias (or member type name).
+    attribute:
+        Attribute name looked up on each member vertex.
+    operator, value:
+        The comparison; ``value`` is a float for numeric literals and a
+        str for quoted literals.
+    """
+
+    alias: str
+    attribute: str
+    operator: ComparisonOperator
+    value: float | str
+
+
+@dataclass(frozen=True)
+class BooleanCondition:
+    """``left AND right`` / ``left OR right``."""
+
+    operator: Literal["AND", "OR"]
+    left: "Condition"
+    right: "Condition"
+
+
+@dataclass(frozen=True)
+class NotCondition:
+    """``NOT operand``."""
+
+    operand: "Condition"
+
+
+Condition = Union[Comparison, AttributeComparison, BooleanCondition, NotCondition]
+
+
+# ----------------------------------------------------------------------
+# Set expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Chain:
+    """An anchored (or bare) meta-path walk producing a vertex set.
+
+    ``venue{"EDBT"}.paper.author`` → ``Chain(types=("venue", "paper",
+    "author"), anchor="EDBT")``; the member type is the last element.
+    A bare type (``author``) selects every vertex of that type.
+
+    Attributes
+    ----------
+    types:
+        Vertex type sequence; the first type carries the anchor.
+    anchor:
+        Name of the anchoring vertex, or ``None`` for all-of-type.
+    alias:
+        Optional ``AS`` alias for WHERE clauses.
+    where:
+        Optional filter condition.
+    """
+
+    types: tuple[str, ...]
+    anchor: str | None = None
+    alias: str | None = None
+    where: Condition | None = None
+
+    def __post_init__(self) -> None:
+        if not self.types:
+            raise ValueError("a chain needs at least one vertex type")
+
+    @property
+    def member_type(self) -> str:
+        """The type of the vertices this expression evaluates to."""
+        return self.types[-1]
+
+
+@dataclass(frozen=True)
+class SetOperation:
+    """``left UNION right`` / ``INTERSECT`` / ``EXCEPT`` (left-associative)."""
+
+    operator: SetOperator
+    left: "SetExpression"
+    right: "SetExpression"
+
+
+@dataclass(frozen=True)
+class FilteredSet:
+    """A parenthesized sub-expression with an alias and/or WHERE filter."""
+
+    base: "SetExpression"
+    alias: str | None = None
+    where: Condition | None = None
+
+
+SetExpression = Union[Chain, SetOperation, FilteredSet]
+
+
+# ----------------------------------------------------------------------
+# Feature meta-paths and the query root
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FeaturePath:
+    """One JUDGED BY entry: a meta-path with an optional weight (default 1)."""
+
+    types: tuple[str, ...]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.types) < 2:
+            raise ValueError("a feature meta-path needs at least two vertex types")
+        if self.weight <= 0:
+            raise ValueError(f"feature weight must be positive, got {self.weight}")
+
+
+@dataclass(frozen=True)
+class Query:
+    """Root node: the full outlier query of Definition 8.
+
+    ``reference`` is ``None`` when no COMPARED TO clause was given, in which
+    case the reference set equals the candidate set at execution time.
+    """
+
+    candidates: SetExpression
+    features: tuple[FeaturePath, ...]
+    reference: SetExpression | None = None
+    top_k: int = DEFAULT_TOP_K
+
+    def __post_init__(self) -> None:
+        if not self.features:
+            raise ValueError("a query needs at least one feature meta-path")
+        if self.top_k <= 0:
+            raise ValueError(f"TOP k must be positive, got {self.top_k}")

@@ -1,0 +1,88 @@
+"""The paper's Table 4 query templates.
+
+The efficiency study (Figures 3-5) instantiates three templates over
+randomly selected author vertices — the ``·`` placeholder in the paper.
+:class:`QueryTemplate` renders a concrete query for a given anchor name;
+:data:`QUERY_TEMPLATES` lists Q1-Q3 in paper order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.ast import Query
+from repro.query.parser import parse_query
+
+__all__ = [
+    "QueryTemplate",
+    "TEMPLATE_Q1",
+    "TEMPLATE_Q2",
+    "TEMPLATE_Q3",
+    "QUERY_TEMPLATES",
+]
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A query with a ``{anchor}`` placeholder for the anchor vertex name.
+
+    Attributes
+    ----------
+    name:
+        Template identifier (``Q1`` .. ``Q3``).
+    text:
+        Query text with a single ``{anchor}`` placeholder inside the quoted
+        anchor position.
+    anchor_type:
+        Vertex type the anchor is drawn from when generating workloads.
+    """
+
+    name: str
+    text: str
+    anchor_type: str
+
+    def render(self, anchor_name: str) -> str:
+        """The concrete query text for ``anchor_name``.
+
+        Quotes and backslashes in the name are escaped so arbitrary vertex
+        names remain parseable.
+        """
+        escaped = anchor_name.replace("\\", "\\\\").replace('"', '\\"')
+        return self.text.format(anchor=escaped)
+
+    def parse(self, anchor_name: str) -> Query:
+        """Render and parse the query for ``anchor_name``."""
+        return parse_query(self.render(anchor_name))
+
+
+TEMPLATE_Q1 = QueryTemplate(
+    name="Q1",
+    text=(
+        'FIND OUTLIERS FROM author{{"{anchor}"}}.paper.author\n'
+        "JUDGED BY author.paper.venue\n"
+        "TOP 10;"
+    ),
+    anchor_type="author",
+)
+
+TEMPLATE_Q2 = QueryTemplate(
+    name="Q2",
+    text=(
+        'FIND OUTLIERS IN author{{"{anchor}"}}.paper.venue\n'
+        "JUDGED BY venue.paper.term\n"
+        "TOP 10;"
+    ),
+    anchor_type="author",
+)
+
+TEMPLATE_Q3 = QueryTemplate(
+    name="Q3",
+    text=(
+        'FIND OUTLIERS IN author{{"{anchor}"}}.paper.term\n'
+        "JUDGED BY term.paper.venue\n"
+        "TOP 10;"
+    ),
+    anchor_type="author",
+)
+
+QUERY_TEMPLATES: tuple[QueryTemplate, ...] = (TEMPLATE_Q1, TEMPLATE_Q2, TEMPLATE_Q3)

@@ -1,0 +1,30 @@
+"""Relational-database front end (paper §8).
+
+Section 8: *"It is also possible to apply our query-based outlier detection
+idea on traditional relational databases, with a structure similar to our
+defined outlier query language."*  This package makes that concrete:
+
+* :mod:`~repro.relational.table` — a small in-memory relational model:
+  typed columns, primary keys, foreign keys, CSV loading.
+* :mod:`~repro.relational.database` — a database of tables with referential
+  integrity checking.
+* :mod:`~repro.relational.convert` — the schema mapping onto a HIN: tables
+  become vertex types, rows become vertices, foreign keys become edge
+  types, junction tables optionally collapse into direct edges, and
+  categorical columns can be expanded into value vertices.
+
+After conversion, the full outlier query language applies unchanged — the
+meta-path ``order.customer`` reads exactly like the SQL join it replaces.
+"""
+
+from repro.relational.table import Column, ForeignKey, Table
+from repro.relational.database import RelationalDatabase
+from repro.relational.convert import database_to_hin
+
+__all__ = [
+    "Column",
+    "ForeignKey",
+    "Table",
+    "RelationalDatabase",
+    "database_to_hin",
+]

@@ -1,0 +1,184 @@
+"""Converting a relational database into a heterogeneous information network.
+
+The §8 mapping, made concrete:
+
+* each table becomes a **vertex type**; each row becomes a vertex named by
+  its primary key (or a designated display column);
+* each foreign key becomes a symmetric **edge type** between the two
+  tables' vertex types, with one edge per non-null reference;
+* **junction tables** (exactly two FKs, no other data) can be collapsed
+  into direct edges between the referenced tables, one per junction row —
+  the natural reading of a many-to-many relation;
+* selected **categorical columns** can be *expanded* into vertices of a new
+  type (one vertex per distinct value, an edge per row), which is how a
+  ``city`` or ``category`` column becomes a judgeable meta-path dimension.
+
+After conversion the outlier query language applies unchanged:
+``FIND OUTLIERS FROM customer JUDGED BY customer.order.product TOP 5;``
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.hin.network import HeterogeneousInformationNetwork, VertexId
+from repro.hin.schema import NetworkSchema
+from repro.relational.database import RelationalDatabase
+from repro.relational.table import RelationalError, Table
+
+__all__ = ["database_to_hin"]
+
+
+def _row_name(table: Table, row: dict, name_column: str | None) -> str:
+    if name_column is not None:
+        value = row.get(name_column)
+        if value is not None:
+            return str(value)
+    return str(row[table.primary_key])
+
+
+def database_to_hin(
+    database: RelationalDatabase,
+    *,
+    name_columns: Mapping[str, str] | None = None,
+    expand_columns: Mapping[str, Sequence[str]] | None = None,
+    collapse_junction_tables: bool = True,
+    check_integrity: bool = True,
+) -> HeterogeneousInformationNetwork:
+    """Convert ``database`` into a HIN ready for outlier queries.
+
+    Parameters
+    ----------
+    name_columns:
+        Per-table display-name column (defaults to the primary key).  Names
+        must be unique per table — primary keys are appended on collision.
+    expand_columns:
+        Per-table categorical columns to expand into vertex types.  The new
+        vertex type is named after the column; expanding two tables'
+        same-named columns merges their value spaces (usually what you
+        want for shared vocabularies).
+    collapse_junction_tables:
+        Collapse pure many-to-many junction tables into direct edges
+        between the referenced tables instead of materializing row
+        vertices.
+    check_integrity:
+        Run referential-integrity checking first (recommended).
+
+    Raises
+    ------
+    RelationalError
+        On integrity violations or invalid expansion columns.
+    """
+    if check_integrity:
+        database.check_integrity()
+    name_columns = dict(name_columns or {})
+    expand_columns = {k: list(v) for k, v in (expand_columns or {}).items()}
+
+    for table_name, columns in expand_columns.items():
+        table = database.table(table_name)
+        for column in columns:
+            if column not in table.columns:
+                raise RelationalError(
+                    f"cannot expand unknown column {table_name}.{column}"
+                )
+
+    junctions = (
+        {t.name for t in database.junction_tables()}
+        if collapse_junction_tables
+        else set()
+    )
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+    schema = NetworkSchema()
+    for table in database.tables():
+        if table.name in junctions:
+            continue
+        schema.add_vertex_type(table.name)
+    for columns in expand_columns.values():
+        for column in columns:
+            schema.add_vertex_type(column)
+    for table in database.tables():
+        if table.name in junctions:
+            # Junction: edge type directly between the two referenced tables.
+            left, right = table.foreign_keys
+            schema.add_edge_type(left.table, right.table)
+            continue
+        for fk in table.foreign_keys:
+            if fk.table in junctions:
+                raise RelationalError(
+                    f"table {table.name!r} references junction table "
+                    f"{fk.table!r}; disable collapse_junction_tables"
+                )
+            schema.add_edge_type(table.name, fk.table)
+    for table_name, columns in expand_columns.items():
+        if table_name in junctions:
+            raise RelationalError(
+                f"cannot expand columns of junction table {table_name!r} "
+                "while collapsing it; disable collapse_junction_tables"
+            )
+        for column in columns:
+            schema.add_edge_type(table_name, column)
+
+    # ------------------------------------------------------------------
+    # Vertices
+    # ------------------------------------------------------------------
+    network = HeterogeneousInformationNetwork(schema)
+    row_vertices: dict[tuple[str, object], VertexId] = {}
+    for table in database.tables():
+        if table.name in junctions:
+            continue
+        name_column = name_columns.get(table.name)
+        fk_columns = {fk.column for fk in table.foreign_keys}
+        expanded = set(expand_columns.get(table.name, ()))
+        for row in table.rows():
+            name = _row_name(table, row, name_column)
+            if network.has_vertex(table.name, name):
+                name = f"{name}#{row[table.primary_key]}"
+            attributes = {
+                column: value
+                for column, value in row.items()
+                if column not in fk_columns
+                and column not in expanded
+                and column != table.primary_key
+                and value is not None
+            }
+            vertex = network.add_vertex(table.name, name, attributes)
+            row_vertices[(table.name, row[table.primary_key])] = vertex
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+    for table in database.tables():
+        if table.name in junctions:
+            left, right = table.foreign_keys
+            for row in table.rows():
+                left_key, right_key = row[left.column], row[right.column]
+                if left_key is None or right_key is None:
+                    continue
+                network.add_edge(
+                    row_vertices[(left.table, left_key)],
+                    row_vertices[(right.table, right_key)],
+                )
+            continue
+        for fk in table.foreign_keys:
+            for row in table.rows():
+                value = row[fk.column]
+                if value is None:
+                    continue
+                network.add_edge(
+                    row_vertices[(table.name, row[table.primary_key])],
+                    row_vertices[(fk.table, value)],
+                )
+        for column in expand_columns.get(table.name, ()):
+            for row in table.rows():
+                value = row[column]
+                if value is None:
+                    continue
+                value_vertex = network.add_vertex(column, str(value))
+                network.add_edge(
+                    row_vertices[(table.name, row[table.primary_key])],
+                    value_vertex,
+                )
+    return network

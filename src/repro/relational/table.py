@@ -1,0 +1,224 @@
+"""A minimal in-memory relational table model.
+
+Just enough relational machinery to express the paper's §8 scenario:
+tables with named, typed columns, a primary key, foreign keys to other
+tables, and row storage as dictionaries.  Loading from iterables and CSV
+text is supported; there is deliberately no query engine here — querying
+happens in the outlier query language after conversion to a HIN.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.exceptions import ReproError
+
+__all__ = ["Column", "ForeignKey", "Table", "RelationalError"]
+
+
+class RelationalError(ReproError):
+    """A relational schema or data constraint was violated."""
+
+
+@dataclass(frozen=True)
+class Column:
+    """A typed column.
+
+    Attributes
+    ----------
+    name:
+        Column name (a valid identifier, so it can appear in meta-paths).
+    dtype:
+        Python type values are coerced to (``str``, ``int``, ``float``).
+    """
+
+    name: str
+    dtype: type = str
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise RelationalError(
+                f"column name {self.name!r} must be a valid identifier"
+            )
+        if self.dtype not in (str, int, float):
+            raise RelationalError(
+                f"column {self.name!r}: dtype must be str, int, or float"
+            )
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce ``value`` to the column type (``None`` passes through)."""
+        if value is None:
+            return None
+        try:
+            return self.dtype(value)
+        except (TypeError, ValueError) as error:
+            raise RelationalError(
+                f"column {self.name!r}: cannot coerce {value!r} to "
+                f"{self.dtype.__name__}"
+            ) from error
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key constraint: ``column`` references ``table.ref_column``."""
+
+    column: str
+    table: str
+    ref_column: str
+
+
+class Table:
+    """An in-memory relational table.
+
+    Parameters
+    ----------
+    name:
+        Table name (becomes the vertex type after conversion, so it must be
+        a valid identifier).
+    columns:
+        Column definitions.
+    primary_key:
+        Name of the primary-key column (values must be unique, not null).
+    foreign_keys:
+        Foreign-key constraints; validated by the owning database.
+
+    Examples
+    --------
+    >>> table = Table("customer", [Column("id", int), Column("city")], "id")
+    >>> table.insert({"id": 1, "city": "Boston"})
+    >>> table.row_count
+    1
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Iterable[Column],
+        primary_key: str,
+        foreign_keys: Iterable[ForeignKey] = (),
+    ) -> None:
+        if not name.isidentifier():
+            raise RelationalError(f"table name {name!r} must be a valid identifier")
+        self.name = name
+        self.columns: dict[str, Column] = {}
+        for column in columns:
+            if column.name in self.columns:
+                raise RelationalError(
+                    f"table {name!r}: duplicate column {column.name!r}"
+                )
+            self.columns[column.name] = column
+        if primary_key not in self.columns:
+            raise RelationalError(
+                f"table {name!r}: primary key {primary_key!r} is not a column"
+            )
+        self.primary_key = primary_key
+        self.foreign_keys: list[ForeignKey] = list(foreign_keys)
+        for fk in self.foreign_keys:
+            if fk.column not in self.columns:
+                raise RelationalError(
+                    f"table {name!r}: foreign key column {fk.column!r} is not "
+                    "a column"
+                )
+        self._rows: dict[Any, dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def insert(self, row: Mapping[str, Any]) -> None:
+        """Insert one row (a mapping of column name to value).
+
+        Unknown columns are rejected; missing columns default to ``None``
+        (except the primary key, which is required and must be unique).
+        """
+        for key in row:
+            if key not in self.columns:
+                raise RelationalError(
+                    f"table {self.name!r}: unknown column {key!r}"
+                )
+        record = {
+            name: column.coerce(row.get(name))
+            for name, column in self.columns.items()
+        }
+        key = record[self.primary_key]
+        if key is None:
+            raise RelationalError(
+                f"table {self.name!r}: primary key {self.primary_key!r} is null"
+            )
+        if key in self._rows:
+            raise RelationalError(
+                f"table {self.name!r}: duplicate primary key {key!r}"
+            )
+        self._rows[key] = record
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate rows in insertion order (copies)."""
+        for record in self._rows.values():
+            yield dict(record)
+
+    def get(self, key: Any) -> dict[str, Any]:
+        """Row by primary key (KeyError-style failure via RelationalError)."""
+        record = self._rows.get(key)
+        if record is None:
+            raise RelationalError(
+                f"table {self.name!r}: no row with {self.primary_key} = {key!r}"
+            )
+        return dict(record)
+
+    def has_key(self, key: Any) -> bool:
+        return key in self._rows
+
+    def distinct(self, column: str) -> set[Any]:
+        """Distinct non-null values of ``column``."""
+        if column not in self.columns:
+            raise RelationalError(f"table {self.name!r}: unknown column {column!r}")
+        return {
+            record[column]
+            for record in self._rows.values()
+            if record[column] is not None
+        }
+
+    # ------------------------------------------------------------------
+    # CSV loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csv(
+        cls,
+        name: str,
+        text: str,
+        primary_key: str,
+        *,
+        dtypes: Mapping[str, type] | None = None,
+        foreign_keys: Iterable[ForeignKey] = (),
+    ) -> "Table":
+        """Build a table from CSV text (first line = header).
+
+        Empty strings load as ``None``; column types default to ``str``
+        unless given in ``dtypes``.
+        """
+        reader = csv.DictReader(io.StringIO(text))
+        if reader.fieldnames is None:
+            raise RelationalError(f"table {name!r}: CSV input has no header")
+        dtypes = dict(dtypes or {})
+        columns = [Column(field, dtypes.get(field, str)) for field in reader.fieldnames]
+        table = cls(name, columns, primary_key, foreign_keys)
+        for row in reader:
+            cleaned = {k: (v if v != "" else None) for k, v in row.items()}
+            table.insert(cleaned)
+        return table
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Table({self.name!r}, columns={list(self.columns)}, "
+            f"rows={self.row_count})"
+        )

@@ -1,0 +1,41 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts either an integer seed or
+a :class:`numpy.random.Generator`.  Centralizing the coercion here keeps
+the convention uniform and makes experiments reproducible by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rng"]
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, or an existing generator
+        (returned unchanged so callers can share a stream).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Children are statistically independent of each other and of the parent's
+    future output, which lets parallel components draw without coupling.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]

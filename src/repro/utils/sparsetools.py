@@ -1,0 +1,73 @@
+"""Helpers for working with ``scipy.sparse`` CSR matrices.
+
+The engine stores one CSR matrix per edge type and per materialized
+meta-path.  These helpers centralize the two operations the engine repeats
+everywhere — extracting a row as a sparse vector and accounting for index
+storage in bytes (paper Figure 5b reports index size in bytes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+__all__ = [
+    "row_vector",
+    "csr_row_nnz",
+    "sparse_row_bytes",
+    "csr_storage_bytes",
+    "VALUE_BYTES",
+    "INDEX_BYTES",
+    "POINTER_BYTES",
+]
+
+# Storage model used for index-size accounting: 8-byte float values,
+# 4-byte int32 column indices, 8-byte row pointers.  This mirrors a
+# conventional CSR layout and is what Figure 5(b) style numbers report.
+VALUE_BYTES = 8
+INDEX_BYTES = 4
+POINTER_BYTES = 8
+
+
+def row_vector(matrix: sparse.csr_matrix, row: int) -> sparse.csr_matrix:
+    """Return row ``row`` of ``matrix`` as a 1 x n CSR matrix.
+
+    Raises :class:`IndexError` for out-of-range rows rather than wrapping,
+    to keep indexing bugs loud.
+    """
+    n_rows = matrix.shape[0]
+    if not 0 <= row < n_rows:
+        raise IndexError(f"row {row} out of range for matrix with {n_rows} rows")
+    return matrix.getrow(row)
+
+
+def csr_row_nnz(matrix: sparse.csr_matrix, row: int) -> int:
+    """Number of stored non-zeros in row ``row`` without materializing it."""
+    n_rows = matrix.shape[0]
+    if not 0 <= row < n_rows:
+        raise IndexError(f"row {row} out of range for matrix with {n_rows} rows")
+    indptr = matrix.indptr
+    return int(indptr[row + 1] - indptr[row])
+
+
+def sparse_row_bytes(nnz: int) -> int:
+    """Bytes needed to store one CSR row with ``nnz`` non-zeros.
+
+    Counts values, column indices, and one row-pointer slot.
+    """
+    if nnz < 0:
+        raise ValueError(f"nnz must be non-negative, got {nnz}")
+    return nnz * (VALUE_BYTES + INDEX_BYTES) + POINTER_BYTES
+
+
+def csr_storage_bytes(matrix: sparse.spmatrix) -> int:
+    """Total bytes to store ``matrix`` in the CSR accounting model."""
+    csr = matrix.tocsr()
+    return int(csr.nnz) * (VALUE_BYTES + INDEX_BYTES) + (csr.shape[0] + 1) * POINTER_BYTES
+
+
+def as_dense_1d(vector: sparse.spmatrix | np.ndarray) -> np.ndarray:
+    """Coerce a 1 x n sparse row (or ndarray) into a dense 1-D float array."""
+    if sparse.issparse(vector):
+        return np.asarray(vector.todense()).ravel().astype(float)
+    return np.asarray(vector, dtype=float).ravel()

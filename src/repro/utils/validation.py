@@ -1,0 +1,41 @@
+"""Small argument-validation helpers used across the library.
+
+These exist to keep error messages uniform and constructors short; they
+raise plain :class:`ValueError` / :class:`TypeError` because they guard
+programming errors rather than domain errors (domain errors use the
+:mod:`repro.exceptions` hierarchy).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["require", "require_positive", "require_probability", "require_type"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def require_type(value: Any, expected: type | tuple[type, ...], name: str) -> None:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        if isinstance(expected, tuple):
+            names = ", ".join(t.__name__ for t in expected)
+        else:
+            names = expected.__name__
+        raise TypeError(f"{name} must be of type {names}, got {type(value).__name__}")

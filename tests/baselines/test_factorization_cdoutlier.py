@@ -1,0 +1,160 @@
+"""Tests for :mod:`repro.baselines.factorization` and ``cdoutlier``."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cdoutlier import community_distribution_outliers
+from repro.baselines.factorization import kmeans, nmf
+from repro.exceptions import MeasureError
+
+
+class TestNMF:
+    def test_reconstruction_quality_on_low_rank_data(self):
+        rng = np.random.default_rng(0)
+        true_w = rng.random((30, 3))
+        true_h = rng.random((3, 20))
+        data = true_w @ true_h
+        w, h = nmf(data, 3, iterations=500, seed=1)
+        relative_error = np.linalg.norm(data - w @ h) / np.linalg.norm(data)
+        assert relative_error < 0.05
+
+    def test_factors_nonnegative(self):
+        rng = np.random.default_rng(1)
+        data = rng.random((10, 8))
+        w, h = nmf(data, 2, seed=0)
+        assert (w >= 0).all() and (h >= 0).all()
+
+    def test_shapes(self):
+        data = np.ones((6, 4))
+        w, h = nmf(data, 2, seed=0)
+        assert w.shape == (6, 2)
+        assert h.shape == (2, 4)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(2)
+        data = rng.random((12, 9))
+        first = nmf(data, 3, seed=7)
+        second = nmf(data, 3, seed=7)
+        np.testing.assert_array_equal(first[0], second[0])
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(MeasureError, match="non-negative"):
+            nmf(np.array([[-1.0, 2.0]]), 1)
+
+    def test_bad_components(self):
+        with pytest.raises(MeasureError):
+            nmf(np.ones((3, 3)), 4)
+        with pytest.raises(MeasureError):
+            nmf(np.ones((3, 3)), 0)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(MeasureError):
+            nmf(np.ones(5), 1)
+
+
+class TestKMeans:
+    def test_separates_obvious_clusters(self):
+        rng = np.random.default_rng(3)
+        left = rng.normal(0.0, 0.1, size=(40, 2))
+        right = rng.normal(5.0, 0.1, size=(40, 2))
+        points = np.vstack([left, right])
+        __, labels = kmeans(points, 2, seed=0)
+        assert len(set(labels[:40])) == 1
+        assert len(set(labels[40:])) == 1
+        assert labels[0] != labels[40]
+
+    def test_centroid_count(self):
+        rng = np.random.default_rng(4)
+        centroids, labels = kmeans(rng.random((30, 3)), 4, seed=0)
+        assert centroids.shape == (4, 3)
+        assert set(labels) <= set(range(4))
+
+    def test_single_cluster(self):
+        points = np.arange(10, dtype=float).reshape(-1, 1)
+        centroids, labels = kmeans(points, 1, seed=0)
+        assert centroids[0, 0] == pytest.approx(points.mean())
+        assert (labels == 0).all()
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(5)
+        points = rng.random((25, 2))
+        first = kmeans(points, 3, seed=11)
+        second = kmeans(points, 3, seed=11)
+        np.testing.assert_array_equal(first[1], second[1])
+
+    def test_bad_cluster_count(self):
+        with pytest.raises(MeasureError):
+            kmeans(np.ones((3, 2)), 4)
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((10, 2))
+        centroids, labels = kmeans(points, 2, seed=0)
+        assert np.isfinite(centroids).all()
+
+
+class TestCommunityDistributionOutliers:
+    def test_planted_distribution_outlier(self):
+        """Vertices following two clean patterns plus one mixed-community
+        deviant: the deviant gets the top score."""
+        rng = np.random.default_rng(6)
+        # Two blocks: vertices 0-19 use features 0-9; 20-39 use 10-19.
+        block_a = np.hstack([rng.poisson(5, (20, 10)), np.zeros((20, 10))])
+        block_b = np.hstack([np.zeros((20, 10)), rng.poisson(5, (20, 10))])
+        deviant = rng.poisson(5, (1, 20))  # spread over everything
+        phi = np.vstack([block_a, block_b, deviant]).astype(float)
+        result = community_distribution_outliers(
+            phi, communities=2, patterns=2, seed=0
+        )
+        assert int(np.argmax(result.scores)) == 40
+
+    def test_memberships_are_distributions(self):
+        rng = np.random.default_rng(7)
+        phi = rng.poisson(2, (15, 8)).astype(float)
+        result = community_distribution_outliers(phi, communities=3, patterns=2)
+        sums = result.memberships.sum(axis=1)
+        assert ((np.isclose(sums, 1.0)) | (sums == 0.0)).all()
+
+    def test_pattern_assignment_shape(self):
+        rng = np.random.default_rng(8)
+        phi = rng.poisson(2, (12, 6)).astype(float)
+        result = community_distribution_outliers(phi, communities=2, patterns=3)
+        assert result.pattern_of.shape == (12,)
+        assert result.patterns.shape[1] == result.memberships.shape[1]
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(9)
+        phi = rng.poisson(2, (10, 5)).astype(float)
+        first = community_distribution_outliers(phi, seed=3)
+        second = community_distribution_outliers(phi, seed=3)
+        np.testing.assert_array_equal(first.scores, second.scores)
+
+    def test_too_small_input_rejected(self):
+        with pytest.raises(MeasureError):
+            community_distribution_outliers(np.ones((1, 4)))
+
+    def test_on_ego_corpus_netout_still_better(self, ego_corpus):
+        """Replaying §8's claim against this related-work method too."""
+        from repro.core.measures import NetOutMeasure
+        from repro.engine.evaluator import SetEvaluator
+        from repro.engine.strategies import PMStrategy
+        from repro.metapath.metapath import MetaPath
+        from repro.query.parser import parse_set_expression
+
+        network = ego_corpus.network
+        strategy = PMStrategy(network)
+        __, members = SetEvaluator(strategy).evaluate(
+            parse_set_expression('author{"Prof. Hub"}.paper.author')
+        )
+        phi = strategy.neighbor_matrix(MetaPath.parse("author.paper.venue"), members)
+        names = network.vertex_names("author")
+        member_names = [names[i] for i in members]
+        truth = set(ego_corpus.cross_field) | set(ego_corpus.students)
+
+        netout = NetOutMeasure().score(phi, phi)
+        by_netout = [member_names[i] for i in np.argsort(netout)[:10]]
+        cd = community_distribution_outliers(phi, communities=4, patterns=3, seed=0)
+        by_cd = [member_names[i] for i in np.argsort(-cd.scores)[:10]]
+
+        netout_hits = len(set(by_netout) & truth)
+        cd_hits = len(set(by_cd) & truth)
+        assert netout_hits >= cd_hits

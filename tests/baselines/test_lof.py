@@ -1,0 +1,62 @@
+"""Tests for :mod:`repro.baselines.lof`."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lof import local_outlier_factor
+from repro.exceptions import MeasureError
+
+
+class TestLocalOutlierFactor:
+    def test_uniform_cluster_scores_near_one(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(size=(200, 2))
+        lof = local_outlier_factor(points, min_pts=10)
+        # Bulk of a uniform cloud is inlier-ish.
+        assert np.median(lof) == pytest.approx(1.0, abs=0.15)
+
+    def test_isolated_point_flagged(self):
+        rng = np.random.default_rng(1)
+        cluster = rng.normal(0, 0.1, size=(50, 2))
+        outlier = np.array([[5.0, 5.0]])
+        points = np.vstack([cluster, outlier])
+        lof = local_outlier_factor(points, min_pts=5)
+        assert np.argmax(lof) == 50
+        assert lof[50] > 5.0
+
+    def test_local_density_sensitivity(self):
+        """A point between a dense and a sparse cluster is more outlying
+        relative to the dense cluster — LOF's defining property."""
+        rng = np.random.default_rng(2)
+        dense = rng.normal(0, 0.05, size=(40, 2))
+        sparse_cluster = rng.normal(10, 1.5, size=(40, 2))
+        bridge = np.array([[0.7, 0.7]])  # just outside the dense cluster
+        points = np.vstack([dense, sparse_cluster, bridge])
+        lof = local_outlier_factor(points, min_pts=8)
+        assert lof[80] > 2.0
+        assert np.median(lof[:40]) < 1.5
+
+    def test_duplicates_do_not_crash(self):
+        points = np.vstack([np.zeros((10, 2)), np.ones((1, 2))])
+        lof = local_outlier_factor(points, min_pts=3)
+        assert np.isfinite(lof[-1])
+        # Duplicate cluster members are inliers (LOF 1 by convention).
+        np.testing.assert_allclose(lof[:10], 1.0)
+
+    def test_min_pts_bounds(self):
+        points = np.zeros((5, 2))
+        with pytest.raises(MeasureError):
+            local_outlier_factor(points, min_pts=0)
+        with pytest.raises(MeasureError):
+            local_outlier_factor(points, min_pts=5)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(MeasureError):
+            local_outlier_factor(np.zeros(5), min_pts=2)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(30, 3))
+        first = local_outlier_factor(points, min_pts=4)
+        second = local_outlier_factor(points, min_pts=4)
+        np.testing.assert_array_equal(first, second)

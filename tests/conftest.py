@@ -1,0 +1,45 @@
+"""Shared fixtures: paper toy networks and session-scoped synthetic corpora."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import hub_ego_corpus
+from repro.datagen.fixtures import figure1_network, figure2_network, table1_network
+from repro.datagen.synthetic import BibliographicNetworkGenerator, GeneratorConfig
+
+
+@pytest.fixture()
+def figure1():
+    return figure1_network()
+
+
+@pytest.fixture()
+def figure2():
+    return figure2_network()
+
+
+@pytest.fixture(scope="session")
+def table1():
+    """(network, candidate names, reference names) of the paper's Table 1."""
+    return table1_network()
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A small deterministic synthetic corpus (2 communities)."""
+    config = GeneratorConfig(
+        num_communities=2,
+        authors_per_community=60,
+        venues_per_community=5,
+        terms_per_community=40,
+        common_terms=10,
+        papers_per_community=150,
+    )
+    return BibliographicNetworkGenerator(config, seed=42).build_network()
+
+
+@pytest.fixture(scope="session")
+def ego_corpus():
+    """The planted hub ego corpus used by the case-study tests."""
+    return hub_ego_corpus()

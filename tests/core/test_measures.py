@@ -1,0 +1,202 @@
+"""Tests for :mod:`repro.core.measures` — exact Table 2 reproduction and more."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.measures import (
+    CosineMeasure,
+    Measure,
+    NetOutMeasure,
+    PathSimMeasure,
+    available_measures,
+    get_measure,
+    register_measure,
+)
+from repro.engine.strategies import BaselineStrategy
+from repro.exceptions import MeasureError
+from repro.metapath.metapath import MetaPath
+
+PV = MetaPath.parse("author.paper.venue")
+
+#: Expected Ω values from the paper's Table 2, in Table 1 candidate order
+#: (Sarah, Rob, Lucy, Joe, Emma), rounded as printed in the paper.
+TABLE2_EXPECTED = {
+    "netout": [100.0, 6.24, 31.11, 50.0, 3.33],
+    "pathsim": [100.0, 9.97, 32.79, 1.94, 5.44],
+    "cossim": [100.0, 12.43, 32.83, 7.04, 7.04],
+}
+
+
+@pytest.fixture(scope="module")
+def table2_vectors(table1):
+    network, candidates, reference = table1
+    strategy = BaselineStrategy(network)
+    candidate_indices = [network.find_vertex("author", n).index for n in candidates]
+    reference_indices = [network.find_vertex("author", n).index for n in reference]
+    return (
+        strategy.neighbor_matrix(PV, candidate_indices),
+        strategy.neighbor_matrix(PV, reference_indices),
+    )
+
+
+class TestTable2ExactReproduction:
+    """Every Ω value printed in the paper's Table 2, to two decimals."""
+
+    @pytest.mark.parametrize("measure_name", ["netout", "pathsim", "cossim"])
+    def test_scores_match_paper(self, table2_vectors, measure_name):
+        phi_candidates, phi_reference = table2_vectors
+        scores = get_measure(measure_name).score(phi_candidates, phi_reference)
+        np.testing.assert_allclose(
+            np.round(scores, 2), TABLE2_EXPECTED[measure_name], atol=0.005
+        )
+
+    def test_pairwise_paths_agree(self, table2_vectors):
+        phi_candidates, phi_reference = table2_vectors
+        for measure_name in ("netout", "pathsim", "cossim"):
+            measure = get_measure(measure_name)
+            np.testing.assert_allclose(
+                measure.score(phi_candidates, phi_reference),
+                measure.score_pairwise(phi_candidates, phi_reference),
+                rtol=1e-10,
+            )
+
+    def test_outlier_ordering_matches_paper_narrative(self, table2_vectors):
+        """Emma < Rob < Lucy < Joe < Sarah under NetOut (Section 5.2)."""
+        phi_candidates, phi_reference = table2_vectors
+        scores = NetOutMeasure().score(phi_candidates, phi_reference)
+        sarah, rob, lucy, joe, emma = scores
+        assert emma < rob < lucy < joe < sarah
+
+    def test_pathsim_and_cossim_bias_toward_low_visibility(self, table2_vectors):
+        """Joe (2 papers) beats Emma (30 papers) under PathSim — the bias."""
+        phi_candidates, phi_reference = table2_vectors
+        pathsim = PathSimMeasure().score(phi_candidates, phi_reference)
+        assert pathsim[3] < pathsim[4]  # Joe more outlying than Emma.
+        netout = NetOutMeasure().score(phi_candidates, phi_reference)
+        assert netout[4] < netout[3]  # NetOut disagrees: Emma is the outlier.
+
+
+class TestNetOutMeasure:
+    def test_identical_vertex_scores_reference_size(self):
+        phi = np.array([[1.0, 2.0]])
+        reference = np.repeat(phi, 7, axis=0)
+        assert NetOutMeasure().score(phi, reference)[0] == pytest.approx(7.0)
+
+    def test_zero_visibility_candidate_scores_zero(self):
+        phi_candidates = np.array([[0.0, 0.0], [1.0, 0.0]])
+        phi_reference = np.array([[1.0, 1.0]])
+        scores = NetOutMeasure().score(phi_candidates, phi_reference)
+        assert scores[0] == 0.0
+        assert scores[1] == 1.0
+
+    def test_mean_aggregation_scales_sum(self):
+        phi_candidates = np.array([[1.0, 2.0]])
+        phi_reference = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        total = NetOutMeasure("sum").score(phi_candidates, phi_reference)
+        mean = NetOutMeasure("mean").score(phi_candidates, phi_reference)
+        assert mean[0] == pytest.approx(total[0] / 3)
+
+    def test_min_max_aggregations(self):
+        phi_candidates = np.array([[1.0, 0.0]])
+        phi_reference = np.array([[2.0, 0.0], [0.0, 5.0]])
+        low = NetOutMeasure("min").score(phi_candidates, phi_reference)
+        high = NetOutMeasure("max").score(phi_candidates, phi_reference)
+        assert low[0] == 0.0
+        assert high[0] == 2.0
+
+    def test_unknown_aggregation_rejected(self):
+        with pytest.raises(MeasureError, match="aggregation"):
+            NetOutMeasure("median")
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(MeasureError, match="dimensions"):
+            NetOutMeasure().score(np.ones((1, 2)), np.ones((1, 3)))
+
+    def test_dense_and_sparse_agree(self):
+        rng = np.random.default_rng(3)
+        candidates = rng.integers(0, 4, size=(6, 5)).astype(float)
+        reference = rng.integers(0, 4, size=(8, 5)).astype(float)
+        dense = NetOutMeasure().score(candidates, reference)
+        sparse_scores = NetOutMeasure().score(
+            sparse.csr_matrix(candidates), sparse.csr_matrix(reference)
+        )
+        np.testing.assert_allclose(dense, sparse_scores)
+
+    def test_non_2d_input_rejected(self):
+        with pytest.raises(MeasureError):
+            NetOutMeasure().score(np.ones(3), np.ones((1, 3)))
+
+
+class TestPathSimMeasure:
+    def test_self_similarity_is_one_per_reference_copy(self):
+        phi = np.array([[2.0, 1.0]])
+        assert PathSimMeasure().score(phi, phi)[0] == pytest.approx(1.0)
+
+    def test_zero_rows_score_zero(self):
+        scores = PathSimMeasure().score(np.zeros((1, 3)), np.ones((2, 3)))
+        assert scores[0] == 0.0
+
+    def test_aggregations(self):
+        phi_candidates = np.array([[1.0, 0.0]])
+        phi_reference = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert PathSimMeasure("max").score(phi_candidates, phi_reference)[0] == 1.0
+        assert PathSimMeasure("min").score(phi_candidates, phi_reference)[0] == 0.0
+        assert PathSimMeasure("mean").score(phi_candidates, phi_reference)[
+            0
+        ] == pytest.approx(0.5)
+
+
+class TestCosineMeasure:
+    def test_parallel_vectors_have_unit_similarity(self):
+        phi_candidates = np.array([[1.0, 1.0]])
+        phi_reference = np.array([[10.0, 10.0]])
+        assert CosineMeasure().score(phi_candidates, phi_reference)[0] == pytest.approx(1.0)
+
+    def test_scale_invariance(self):
+        """Joe and Emma have identical CosSim scores (same direction)."""
+        phi_candidates = np.array([[0.0, 2.0], [0.0, 30.0]])
+        phi_reference = np.array([[1.0, 1.0], [3.0, 0.0]])
+        scores = CosineMeasure().score(phi_candidates, phi_reference)
+        assert scores[0] == pytest.approx(scores[1])
+
+    def test_zero_rows_score_zero(self):
+        scores = CosineMeasure().score(np.zeros((1, 3)), np.ones((2, 3)))
+        assert scores[0] == 0.0
+
+    def test_min_max_fall_back_to_pairwise(self):
+        phi_candidates = np.array([[1.0, 0.0]])
+        phi_reference = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert CosineMeasure("max").score(phi_candidates, phi_reference)[0] == 1.0
+        assert CosineMeasure("min").score(phi_candidates, phi_reference)[0] == 0.0
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        assert {"netout", "pathsim", "cossim"} <= set(available_measures())
+
+    def test_get_measure_case_insensitive(self):
+        assert isinstance(get_measure("NetOut"), NetOutMeasure)
+
+    def test_unknown_measure_lists_available(self):
+        with pytest.raises(MeasureError, match="netout"):
+            get_measure("nonexistent")
+
+    def test_custom_measure_registration(self):
+        class ConstantMeasure(Measure):
+            name = "constant"
+
+            def score(self, phi_candidates, phi_reference):
+                rows = (
+                    phi_candidates.shape[0]
+                    if hasattr(phi_candidates, "shape")
+                    else len(phi_candidates)
+                )
+                return np.zeros(rows)
+
+        register_measure("constant-test", ConstantMeasure)
+        assert isinstance(get_measure("constant-test"), ConstantMeasure)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MeasureError):
+            register_measure("", NetOutMeasure)

@@ -1,0 +1,117 @@
+"""Tests for :mod:`repro.datagen.aminer` (the paper's dataset format)."""
+
+import pytest
+
+from repro.datagen.aminer import load_aminer, parse_aminer
+from repro.exceptions import NetworkError
+
+SAMPLE = """\
+#index 1083734
+#* Mining frequent patterns
+#@ Author One; Author Two
+#t 2009
+#c SIGMOD Conference
+#! An abstract that should be ignored.
+
+#index 1083735
+#* Outlier detection in networks
+#@ Author Two
+#t 2011
+#c KDD
+
+#index 1083736
+#* A venue-less tech report
+#@ Author Three
+#t 2012
+
+#index 1083737
+#* An orphan paper with no authors
+#t 2013
+#c VLDB
+"""
+
+
+class TestParseAminer:
+    def test_record_count(self):
+        assert len(parse_aminer(SAMPLE)) == 4
+
+    def test_fields_parsed(self):
+        first = parse_aminer(SAMPLE)[0]
+        assert first.key == "1083734"
+        assert first.authors == ["Author One", "Author Two"]
+        assert first.venue == "SIGMOD Conference"
+        assert first.year == 2009
+        assert first.title == "Mining frequent patterns"
+
+    def test_comma_separated_authors(self):
+        records = parse_aminer(
+            "#index 1\n#* T\n#@ A One, B Two\n#c V\n"
+        )
+        assert records[0].authors == ["A One", "B Two"]
+
+    def test_missing_venue_is_none(self):
+        records = parse_aminer(SAMPLE)
+        assert records[2].venue is None
+
+    def test_missing_authors_become_null(self):
+        records = parse_aminer(SAMPLE)
+        assert records[3].authors == ["NULL"]
+
+    def test_limit(self):
+        assert len(parse_aminer(SAMPLE, limit=2)) == 2
+
+    def test_records_without_blank_separator(self):
+        text = "#index 1\n#* A\n#@ X\n#c V1\n#index 2\n#* B\n#@ Y\n#c V2\n"
+        records = parse_aminer(text)
+        assert [r.key for r in records] == ["1", "2"]
+
+    def test_missing_index_gets_synthetic_key(self):
+        records = parse_aminer("#* Untracked\n#@ X\n#c V\n")
+        assert records[0].key.startswith("noindex-")
+
+    def test_non_numeric_year_ignored(self):
+        records = parse_aminer("#index 1\n#* T\n#@ X\n#t unknown\n#c V\n")
+        assert records[0].year is None
+
+    def test_empty_input(self):
+        assert parse_aminer("") == []
+
+
+class TestLoadAminer:
+    def test_builds_queryable_network(self, tmp_path):
+        path = tmp_path / "aminer.txt"
+        path.write_text(SAMPLE, encoding="utf-8")
+        network = load_aminer(path)
+        assert network.num_vertices("paper") == 4
+        # Author One/Two/Three + NULL marker.
+        assert network.num_vertices("author") == 4
+        assert network.has_vertex("venue", "KDD")
+        assert network.has_vertex("author", "NULL")
+
+        from repro.engine.detector import OutlierDetector
+
+        detector = OutlierDetector(network)
+        result = detector.detect(
+            'FIND OUTLIERS FROM author{"Author Two"}.paper.author '
+            "JUDGED BY author.paper.venue TOP 3;"
+        )
+        assert len(result) >= 1
+
+    def test_limit(self, tmp_path):
+        path = tmp_path / "aminer.txt"
+        path.write_text(SAMPLE, encoding="utf-8")
+        network = load_aminer(path, limit=2)
+        assert network.num_vertices("paper") == 2
+
+    def test_year_attribute_supports_slicing(self, tmp_path):
+        from repro.hin.subnetwork import slice_by_attribute
+
+        path = tmp_path / "aminer.txt"
+        path.write_text(SAMPLE, encoding="utf-8")
+        network = load_aminer(path)
+        recent = slice_by_attribute(network, "paper", "year", minimum=2011)
+        assert recent.num_vertices("paper") == 3
+
+    def test_missing_file(self):
+        with pytest.raises(NetworkError, match="not found"):
+            load_aminer("/nonexistent/aminer.txt")

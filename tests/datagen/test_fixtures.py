@@ -1,0 +1,102 @@
+"""Tests for :mod:`repro.datagen.fixtures` — consistency with the paper."""
+
+import pytest
+
+from repro.datagen.fixtures import (
+    TABLE1_CANDIDATES,
+    TABLE1_REFERENCE_SIZE,
+    figure1_network,
+    figure2_network,
+    table1_network,
+)
+from repro.metapath.counting import neighbor_counts
+from repro.metapath.metapath import MetaPath
+
+PV = MetaPath.parse("author.paper.venue")
+PCA = MetaPath.parse("author.paper.author")
+
+
+class TestFigure1:
+    def test_vertex_population(self, figure1):
+        assert figure1.num_vertices("author") == 3
+        assert figure1.num_vertices("paper") == 5
+        assert figure1.num_vertices("venue") == 2
+
+    def test_quoted_quantities_from_section3(self, figure1):
+        zoe = figure1.find_vertex("author", "Zoe")
+        venue_counts = neighbor_counts(figure1, PV, zoe)
+        by_name = {
+            figure1.vertex_names("venue")[i]: c for i, c in venue_counts.items()
+        }
+        assert by_name == {"ICDE": 2.0, "KDD": 3.0}
+
+
+class TestFigure2:
+    def test_jim_mary_venue_profiles(self, figure2):
+        jim = figure2.find_vertex("author", "Jim")
+        mary = figure2.find_vertex("author", "Mary")
+        venue_names = figure2.vertex_names("venue")
+        jim_counts = {
+            venue_names[i]: c for i, c in neighbor_counts(figure2, PV, jim).items()
+        }
+        mary_counts = {
+            venue_names[i]: c for i, c in neighbor_counts(figure2, PV, mary).items()
+        }
+        assert jim_counts == {"V1": 4.0, "V2": 2.0, "V3": 6.0}
+        assert mary_counts == {"V1": 2.0, "V2": 1.0, "V3": 3.0}
+
+    def test_connectivity_28(self, figure2):
+        """2·4 + 1·2 + 3·6 = 28 path instances of (APVPA)."""
+        jim = figure2.find_vertex("author", "Jim")
+        sym = PV.symmetric()
+        counts = neighbor_counts(figure2, sym, jim)
+        mary = figure2.find_vertex("author", "Mary")
+        assert counts[mary.index] == 28.0
+
+
+class TestTable1:
+    def test_population(self):
+        network, candidates, reference = table1_network()
+        assert candidates == list(TABLE1_CANDIDATES)
+        assert len(reference) == TABLE1_REFERENCE_SIZE
+        assert network.num_vertices("author") == 105
+        assert set(network.vertex_names("venue")) == {
+            "VLDB",
+            "KDD",
+            "STOC",
+            "SIGGRAPH",
+        }
+
+    def test_reference_records_identical(self):
+        network, __, reference = table1_network()
+        venue_names = network.vertex_names("venue")
+        profiles = set()
+        for name in reference:
+            author = network.find_vertex("author", name)
+            counts = neighbor_counts(network, PV, author)
+            profiles.add(tuple(sorted((venue_names[i], c) for i, c in counts.items())))
+        assert len(profiles) == 1
+        (profile,) = profiles
+        assert dict(profile) == {"VLDB": 10.0, "KDD": 10.0, "STOC": 1.0, "SIGGRAPH": 1.0}
+
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("Sarah", {"VLDB": 10.0, "KDD": 10.0, "STOC": 1.0, "SIGGRAPH": 1.0}),
+            ("Rob", {"KDD": 1.0, "STOC": 20.0, "SIGGRAPH": 20.0}),
+            ("Lucy", {"KDD": 5.0, "STOC": 10.0, "SIGGRAPH": 10.0}),
+            ("Joe", {"SIGGRAPH": 2.0}),
+            ("Emma", {"SIGGRAPH": 30.0}),
+        ],
+    )
+    def test_candidate_records(self, name, expected):
+        network, __, __ = table1_network()
+        venue_names = network.vertex_names("venue")
+        author = network.find_vertex("author", name)
+        counts = neighbor_counts(network, PV, author)
+        assert {venue_names[i]: c for i, c in counts.items()} == expected
+
+    def test_every_paper_has_one_author(self):
+        network, __, __ = table1_network()
+        adjacency = network.adjacency("paper", "author")
+        assert (adjacency.sum(axis=1) == 1).all()

@@ -1,0 +1,160 @@
+"""Tests for :mod:`repro.datagen.synthetic`."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.synthetic import (
+    BibliographicNetworkGenerator,
+    EgoNetworkSpec,
+    GeneratorConfig,
+    hub_ego_corpus,
+)
+
+
+class TestGeneratorConfig:
+    def test_defaults_valid(self):
+        GeneratorConfig()
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(missing_venue_prob=1.5)
+
+    def test_invalid_terms_range(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(terms_per_paper=(5, 2))
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(num_communities=0)
+
+
+class TestBibliographicNetworkGenerator:
+    @pytest.fixture(scope="class")
+    def small_config(self):
+        return GeneratorConfig(
+            num_communities=2,
+            authors_per_community=30,
+            venues_per_community=4,
+            terms_per_community=20,
+            common_terms=5,
+            papers_per_community=80,
+        )
+
+    def test_deterministic_given_seed(self, small_config):
+        first = BibliographicNetworkGenerator(small_config, seed=9).generate_publications()
+        second = BibliographicNetworkGenerator(small_config, seed=9).generate_publications()
+        assert first == second
+
+    def test_different_seeds_differ(self, small_config):
+        first = BibliographicNetworkGenerator(small_config, seed=1).generate_publications()
+        second = BibliographicNetworkGenerator(small_config, seed=2).generate_publications()
+        assert first != second
+
+    def test_paper_count(self, small_config):
+        publications = BibliographicNetworkGenerator(
+            small_config, seed=0
+        ).generate_publications()
+        assert len(publications) == 160
+
+    def test_network_schema_population(self, small_config):
+        generator = BibliographicNetworkGenerator(small_config, seed=0)
+        network = generator.build_network()
+        assert network.num_vertices("paper") == 160
+        assert 0 < network.num_vertices("author") <= 61  # 2x30 + NULL
+        assert network.num_vertices("venue") <= 9  # 2x4 + NULL
+
+    def test_author_productivity_skewed(self, small_config):
+        """Zipf selection concentrates papers on low-rank authors."""
+        generator = BibliographicNetworkGenerator(small_config, seed=3)
+        network = generator.build_network()
+        top = generator.author_name(0, 0)
+        bottom = generator.author_name(0, 29)
+        top_degree = (
+            network.degree(network.find_vertex("author", top), "paper")
+            if network.has_vertex("author", top)
+            else 0
+        )
+        bottom_degree = (
+            network.degree(network.find_vertex("author", bottom), "paper")
+            if network.has_vertex("author", bottom)
+            else 0
+        )
+        assert top_degree > bottom_degree
+
+    def test_missing_data_markers_appear(self):
+        config = GeneratorConfig(
+            num_communities=1,
+            authors_per_community=20,
+            papers_per_community=2000,
+            missing_venue_prob=0.05,
+            missing_author_prob=0.05,
+        )
+        network = BibliographicNetworkGenerator(config, seed=0).build_network()
+        assert network.has_vertex("venue", "NULL")
+        assert network.has_vertex("author", "NULL")
+
+    def test_communities_mostly_disjoint_venues(self, small_config):
+        """Cross-community venue edges are rare by construction."""
+        generator = BibliographicNetworkGenerator(small_config, seed=5)
+        publications = generator.generate_publications()
+        cross = 0
+        total = 0
+        for position, publication in enumerate(publications):
+            community = 0 if position < 80 else 1
+            if publication.venue is None or publication.venue == "NULL":
+                continue
+            total += 1
+            if not publication.venue.startswith(f"C{community}-"):
+                cross += 1
+        assert cross / total < 0.10
+
+
+class TestHubEgoCorpus:
+    def test_groups_disjoint_and_present(self, ego_corpus):
+        assert ego_corpus.hub == "Prof. Hub"
+        groups = [
+            set(ego_corpus.normal_coauthors),
+            set(ego_corpus.cross_field),
+            set(ego_corpus.students),
+        ]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert not groups[i] & groups[j]
+        assert len(ego_corpus.cross_field) == 5
+        assert len(ego_corpus.students) == 5
+
+    def test_all_group_members_are_hub_coauthors(self, ego_corpus):
+        from repro.metapath.counting import neighborhood
+        from repro.metapath.metapath import MetaPath
+
+        network = ego_corpus.network
+        hub = network.find_vertex("author", ego_corpus.hub)
+        coauthors = {
+            network.vertex_name(v)
+            for v in neighborhood(network, MetaPath.parse("author.paper.author"), hub)
+        }
+        for name in (
+            ego_corpus.normal_coauthors + ego_corpus.cross_field + ego_corpus.students
+        ):
+            assert name in coauthors
+
+    def test_students_have_exactly_one_paper(self, ego_corpus):
+        network = ego_corpus.network
+        for name in ego_corpus.students:
+            author = network.find_vertex("author", name)
+            assert network.degree(author, "paper") == 1.0
+
+    def test_cross_field_authors_are_established(self, ego_corpus):
+        network = ego_corpus.network
+        for name in ego_corpus.cross_field:
+            author = network.find_vertex("author", name)
+            assert network.degree(author, "paper") >= 40
+
+    def test_deterministic(self):
+        first = hub_ego_corpus(spec=EgoNetworkSpec(seed=3))
+        second = hub_ego_corpus(spec=EgoNetworkSpec(seed=3))
+        assert first.publications == second.publications
+
+    def test_requires_two_communities(self):
+        with pytest.raises(ValueError, match="two communities"):
+            hub_ego_corpus(config=GeneratorConfig(num_communities=1))

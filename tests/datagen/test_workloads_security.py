@@ -1,0 +1,106 @@
+"""Tests for :mod:`repro.datagen.workloads` and :mod:`repro.datagen.security`."""
+
+import pytest
+
+from repro.datagen.security import SecurityNetworkGenerator, security_schema
+from repro.datagen.workloads import generate_query_set, random_author_anchors
+from repro.query.parser import parse_query
+from repro.query.templates import TEMPLATE_Q1, TEMPLATE_Q2
+
+
+class TestWorkloads:
+    def test_anchor_names_exist(self, small_corpus):
+        anchors = random_author_anchors(small_corpus, 10, seed=0)
+        assert len(anchors) == 10
+        for name in anchors:
+            assert small_corpus.has_vertex("author", name)
+
+    def test_sampling_without_replacement(self, small_corpus):
+        count = small_corpus.num_vertices("author")
+        anchors = random_author_anchors(small_corpus, count, seed=0)
+        assert len(set(anchors)) == count
+
+    def test_oversampling_falls_back_to_replacement(self, figure1):
+        anchors = random_author_anchors(figure1, 10, seed=0)
+        assert len(anchors) == 10
+
+    def test_deterministic_given_seed(self, small_corpus):
+        first = random_author_anchors(small_corpus, 5, seed=7)
+        second = random_author_anchors(small_corpus, 5, seed=7)
+        assert first == second
+
+    def test_empty_type_rejected(self):
+        from repro.hin import HeterogeneousInformationNetwork, bibliographic_schema
+
+        empty = HeterogeneousInformationNetwork(bibliographic_schema())
+        with pytest.raises(ValueError, match="no vertices"):
+            random_author_anchors(empty, 3)
+
+    def test_generated_queries_parse(self, small_corpus):
+        queries = generate_query_set(small_corpus, TEMPLATE_Q1, 8, seed=1)
+        assert len(queries) == 8
+        for text in queries:
+            parse_query(text)
+
+    def test_templates_share_anchor_stream(self, small_corpus):
+        q1 = generate_query_set(small_corpus, TEMPLATE_Q1, 5, seed=2)
+        q2 = generate_query_set(small_corpus, TEMPLATE_Q2, 5, seed=2)
+        anchors1 = [parse_query(t).candidates.anchor for t in q1]
+        anchors2 = [parse_query(t).candidates.anchor for t in q2]
+        assert anchors1 == anchors2
+
+
+class TestSecurityNetwork:
+    def test_schema(self):
+        schema = security_schema()
+        assert schema.has_edge_type("user", "host")
+        assert schema.has_edge_type("alert", "category")
+        assert not schema.has_edge_type("user", "alert")
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return SecurityNetworkGenerator(seed=0).generate()
+
+    def test_population(self, corpus):
+        network = corpus.network
+        assert network.num_vertices("user") == 60
+        assert network.num_vertices("host") == 80
+        assert network.num_vertices("alert") > 0
+        assert len(corpus.compromised_hosts) == 2
+
+    def test_compromised_hosts_have_attack_categories(self, corpus):
+        from repro.metapath.counting import neighbor_counts
+        from repro.metapath.metapath import MetaPath
+
+        network = corpus.network
+        path = MetaPath.parse("host.alert.category")
+        category_names = network.vertex_names("category")
+        for host_name in corpus.compromised_hosts:
+            host = network.find_vertex("host", host_name)
+            counts = neighbor_counts(network, path, host)
+            categories = {category_names[i] for i in counts}
+            assert "lateral-movement" in categories or "c2-beacon" in categories or \
+                "data-exfiltration" in categories or "privilege-escalation" in categories
+
+    def test_detection_query_surfaces_compromise(self, corpus):
+        """NetOut on host.alert.category must rank a planted host first."""
+        from repro.engine.detector import OutlierDetector
+
+        detector = OutlierDetector(corpus.network, strategy="pm")
+        result = detector.detect(
+            "FIND OUTLIERS FROM host "
+            "JUDGED BY host.alert.category "
+            "TOP 2;"
+        )
+        assert set(result.names()) & set(corpus.compromised_hosts)
+
+    def test_deterministic(self):
+        first = SecurityNetworkGenerator(seed=4).generate()
+        second = SecurityNetworkGenerator(seed=4).generate()
+        assert first.compromised_hosts == second.compromised_hosts
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SecurityNetworkGenerator(num_hosts=1)
+        with pytest.raises(ValueError):
+            SecurityNetworkGenerator(num_compromised=999)

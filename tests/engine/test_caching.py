@@ -1,0 +1,129 @@
+"""Tests for :mod:`repro.engine.caching`."""
+
+import pytest
+
+from repro.engine.caching import CachingStrategy
+from repro.engine.executor import QueryExecutor
+from repro.engine.stats import ExecutionStats
+from repro.engine.strategies import BaselineStrategy, PMStrategy
+from repro.exceptions import ExecutionError
+from repro.metapath.metapath import MetaPath
+
+PV = MetaPath.parse("author.paper.venue")
+PCA = MetaPath.parse("author.paper.author")
+
+
+class TestCachingStrategy:
+    def test_rows_match_inner(self, figure1):
+        inner = BaselineStrategy(figure1)
+        cached = CachingStrategy(inner)
+        for vertex in figure1.vertices("author"):
+            direct = inner.neighbor_row(PV, vertex.index)
+            via_cache = cached.neighbor_row(PV, vertex.index)
+            assert (direct != via_cache).nnz == 0
+
+    def test_hit_miss_accounting(self, figure1):
+        cached = CachingStrategy(BaselineStrategy(figure1))
+        cached.neighbor_row(PV, 0)
+        cached.neighbor_row(PV, 0)
+        cached.neighbor_row(PV, 1)
+        assert cached.misses == 2
+        assert cached.hits == 1
+        assert cached.hit_rate == pytest.approx(1 / 3)
+
+    def test_distinct_paths_cached_separately(self, figure1):
+        cached = CachingStrategy(BaselineStrategy(figure1))
+        cached.neighbor_row(PV, 0)
+        cached.neighbor_row(PCA, 0)
+        assert cached.misses == 2
+        assert cached.cached_rows == 2
+
+    def test_lru_eviction(self, figure1):
+        cached = CachingStrategy(BaselineStrategy(figure1), max_rows=2)
+        cached.neighbor_row(PV, 0)
+        cached.neighbor_row(PV, 1)
+        cached.neighbor_row(PV, 2)  # evicts (PV, 0)
+        assert cached.cached_rows == 2
+        cached.neighbor_row(PV, 0)  # miss again
+        assert cached.misses == 4
+
+    def test_lru_recency_updated_on_hit(self, figure1):
+        cached = CachingStrategy(BaselineStrategy(figure1), max_rows=2)
+        cached.neighbor_row(PV, 0)
+        cached.neighbor_row(PV, 1)
+        cached.neighbor_row(PV, 0)  # refresh 0
+        cached.neighbor_row(PV, 2)  # evicts 1, not 0
+        cached.neighbor_row(PV, 0)
+        assert cached.hits == 2
+
+    def test_hits_record_no_phase_time(self, figure1):
+        cached = CachingStrategy(BaselineStrategy(figure1))
+        warm = ExecutionStats()
+        cached.neighbor_row(PV, 0, warm)
+        cold_seconds = warm.not_indexed_seconds
+        assert cold_seconds > 0
+        again = ExecutionStats()
+        cached.neighbor_row(PV, 0, again)
+        assert again.not_indexed_seconds == 0
+        assert again.traversed_vectors == 0
+
+    def test_clear(self, figure1):
+        cached = CachingStrategy(BaselineStrategy(figure1))
+        cached.neighbor_row(PV, 0)
+        cached.clear()
+        assert cached.cached_rows == 0
+        assert cached.hit_rate == 0.0
+
+    def test_invalid_capacity(self, figure1):
+        with pytest.raises(ExecutionError):
+            CachingStrategy(BaselineStrategy(figure1), max_rows=0)
+
+    def test_index_size_includes_cache(self, figure1):
+        cached = CachingStrategy(PMStrategy(figure1))
+        base = cached.index_size_bytes()
+        cached.neighbor_row(PV, 0)
+        assert cached.index_size_bytes() > base
+
+    def test_name_reflects_inner(self, figure1):
+        assert CachingStrategy(BaselineStrategy(figure1)).name == "cached-baseline"
+
+    def test_executor_results_unchanged(self, figure1):
+        query = (
+            'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+            "JUDGED BY author.paper.venue TOP 3;"
+        )
+        plain = QueryExecutor(BaselineStrategy(figure1)).execute(query)
+        cached_strategy = CachingStrategy(BaselineStrategy(figure1))
+        executor = QueryExecutor(cached_strategy)
+        first = executor.execute(query)
+        second = executor.execute(query)
+        assert first.names() == second.names() == plain.names()
+        assert cached_strategy.hits > 0
+
+    def test_cache_invalidated_on_network_mutation(self, figure1):
+        """A mutation must flush the cache — never serve stale vectors."""
+        cached = CachingStrategy(BaselineStrategy(figure1))
+        zoe = figure1.find_vertex("author", "Zoe")
+        before = cached.neighbor_row(PV, zoe.index)
+        # Give Zoe a new paper in a new venue.
+        paper = figure1.add_vertex("paper", "extra")
+        venue = figure1.add_vertex("venue", "NEWVENUE")
+        figure1.add_edge(paper, zoe)
+        figure1.add_edge(paper, venue)
+        after = cached.neighbor_row(PV, zoe.index)
+        assert after.shape[1] == before.shape[1] + 1
+        assert after.sum() == before.sum() + 1
+        assert cached.cached_rows == 1  # old entries flushed
+
+    def test_repeated_workload_mostly_hits(self, ego_corpus):
+        from repro.datagen.workloads import generate_query_set
+        from repro.query.templates import TEMPLATE_Q1
+
+        network = ego_corpus.network
+        workload = generate_query_set(network, TEMPLATE_Q1, 10, seed=4)
+        cached = CachingStrategy(BaselineStrategy(network))
+        executor = QueryExecutor(cached)
+        executor.execute_many(list(workload), skip_failures=True)
+        cold_misses = cached.misses
+        executor.execute_many(list(workload), skip_failures=True)
+        assert cached.misses == cold_misses  # second pass is all hits

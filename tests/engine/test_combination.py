@@ -1,0 +1,124 @@
+"""Tests for multi-meta-path combination modes (paper §5.1's open choice)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.detector import OutlierDetector
+from repro.engine.executor import QueryExecutor
+from repro.engine.strategies import BaselineStrategy, PMStrategy
+from repro.exceptions import ExecutionError
+
+MULTI_QUERY = (
+    'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+    "JUDGED BY author.paper.venue: 2.0, author.paper.author TOP 3;"
+)
+SINGLE_QUERY = (
+    'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+    "JUDGED BY author.paper.venue TOP 3;"
+)
+
+
+class TestCombineModes:
+    def test_unknown_mode_rejected(self, figure1):
+        with pytest.raises(ExecutionError, match="combine"):
+            QueryExecutor(BaselineStrategy(figure1), combine="median")
+
+    def test_single_path_identical_across_modes(self, figure1):
+        """With one feature path, every mode must agree."""
+        results = {}
+        for mode in QueryExecutor.COMBINE_MODES:
+            executor = QueryExecutor(BaselineStrategy(figure1), combine=mode)
+            result = executor.execute(SINGLE_QUERY)
+            results[mode] = [(e.name, round(e.score, 10)) for e in result]
+        assert results["score"] == results["rank"] == results["connectivity"]
+
+    def test_score_mode_is_weighted_average(self, figure1):
+        executor = QueryExecutor(BaselineStrategy(figure1), combine="score")
+        venue = executor.execute(
+            'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+            "JUDGED BY author.paper.venue TOP 3;"
+        )
+        coauthor = executor.execute(
+            'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+            "JUDGED BY author.paper.author TOP 3;"
+        )
+        both = executor.execute(MULTI_QUERY)
+        for vertex, score in both.scores.items():
+            expected = (2.0 * venue.scores[vertex] + coauthor.scores[vertex]) / 3.0
+            assert score == pytest.approx(expected)
+
+    def test_rank_mode_scores_are_mean_ranks(self, figure1):
+        executor = QueryExecutor(BaselineStrategy(figure1), combine="rank")
+        result = executor.execute(MULTI_QUERY)
+        scores = np.array(sorted(result.scores.values()))
+        count = len(result.scores)
+        # Mean ranks live in [1, count].
+        assert scores.min() >= 1.0
+        assert scores.max() <= count
+
+    def test_connectivity_mode_weighted_chi_sum(self, figure2):
+        """χ' must equal w1·χ1 + w2·χ2 under the concatenation trick."""
+        from repro.core.connectivity import connectivity
+        from repro.metapath.materialize import materialize_row
+        from repro.metapath.metapath import MetaPath
+
+        jim = figure2.find_vertex("author", "Jim")
+        mary = figure2.find_vertex("author", "Mary")
+        paths = [MetaPath.parse("author.paper.venue"), MetaPath.parse("author.paper.author")]
+        weights = [2.0, 1.0]
+        chi_parts = [
+            connectivity(
+                materialize_row(figure2, path, jim),
+                materialize_row(figure2, path, mary),
+            )
+            for path in paths
+        ]
+        expected = sum(w * chi for w, chi in zip(weights, chi_parts))
+
+        import scipy.sparse as sp
+
+        blocks_jim = [
+            materialize_row(figure2, path, jim) * np.sqrt(w)
+            for path, w in zip(paths, weights)
+        ]
+        blocks_mary = [
+            materialize_row(figure2, path, mary) * np.sqrt(w)
+            for path, w in zip(paths, weights)
+        ]
+        combined = connectivity(
+            sp.hstack(blocks_jim, format="csr"),
+            sp.hstack(blocks_mary, format="csr"),
+        )
+        assert combined == pytest.approx(expected)
+
+    def test_connectivity_mode_executes(self, figure1):
+        executor = QueryExecutor(BaselineStrategy(figure1), combine="connectivity")
+        result = executor.execute(MULTI_QUERY)
+        assert len(result) == 3
+        assert all(np.isfinite(list(result.scores.values())))
+
+    def test_modes_can_disagree(self, ego_corpus):
+        """On the ego corpus, score- and rank-combination are not forced to
+        produce identical orderings (scale effects differ) — but both must
+        still surface planted outliers at the top."""
+        network = ego_corpus.network
+        query = (
+            f'FIND OUTLIERS FROM author{{"{ego_corpus.hub}"}}.paper.author '
+            "JUDGED BY author.paper.venue, author.paper.author TOP 10;"
+        )
+        planted = set(ego_corpus.cross_field) | set(ego_corpus.students)
+        for mode in ("score", "rank", "connectivity"):
+            detector = OutlierDetector(network, strategy="pm", combine=mode)
+            names = detector.detect(query).names()
+            assert set(names[:5]) & planted, f"{mode} lost the planted outliers"
+
+    def test_detector_exposes_combine(self, figure1):
+        detector = OutlierDetector(figure1, combine="rank")
+        assert len(detector.detect(MULTI_QUERY)) == 3
+
+    def test_results_identical_across_strategies_in_rank_mode(self, figure1):
+        baseline = QueryExecutor(BaselineStrategy(figure1), combine="rank")
+        pm = QueryExecutor(PMStrategy(figure1), combine="rank")
+        assert (
+            baseline.execute(MULTI_QUERY).names() == pm.execute(MULTI_QUERY).names()
+        )

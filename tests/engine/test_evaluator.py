@@ -1,0 +1,154 @@
+"""Tests for :mod:`repro.engine.evaluator` (set-expression evaluation)."""
+
+import pytest
+
+from repro.engine.evaluator import SetEvaluator
+from repro.engine.strategies import BaselineStrategy, PMStrategy
+from repro.exceptions import VertexNotFoundError
+from repro.query.parser import parse_set_expression
+
+
+@pytest.fixture()
+def evaluator(figure1):
+    return SetEvaluator(BaselineStrategy(figure1))
+
+
+def names_of(network, member_type, members):
+    all_names = network.vertex_names(member_type)
+    return {all_names[i] for i in members}
+
+
+class TestChains:
+    def test_single_anchored_vertex(self, figure1, evaluator):
+        member_type, members = evaluator.evaluate(parse_set_expression('venue{"KDD"}'))
+        assert member_type == "venue"
+        assert names_of(figure1, member_type, members) == {"KDD"}
+
+    def test_anchored_walk(self, figure1, evaluator):
+        expression = parse_set_expression('venue{"ICDE"}.paper.author')
+        member_type, members = evaluator.evaluate(expression)
+        assert names_of(figure1, member_type, members) == {"Ava", "Liam", "Zoe"}
+
+    def test_coauthor_set_includes_anchor(self, figure1, evaluator):
+        """author{X}.paper.author includes X itself (self-paths exist)."""
+        expression = parse_set_expression('author{"Zoe"}.paper.author')
+        __, members = evaluator.evaluate(expression)
+        assert names_of(figure1, "author", members) == {"Ava", "Liam", "Zoe"}
+
+    def test_bare_type_selects_all(self, figure1, evaluator):
+        __, members = evaluator.evaluate(parse_set_expression("author"))
+        assert len(members) == figure1.num_vertices("author")
+
+    def test_unanchored_chain(self, figure1, evaluator):
+        """venue.paper.author = all authors having a paper with a venue."""
+        __, members = evaluator.evaluate(parse_set_expression("venue.paper.author"))
+        assert names_of(figure1, "author", members) == {"Ava", "Liam", "Zoe"}
+
+    def test_missing_anchor_raises(self, evaluator):
+        with pytest.raises(VertexNotFoundError):
+            evaluator.evaluate(parse_set_expression('venue{"VLDB"}.paper.author'))
+
+    def test_results_sorted(self, figure1, evaluator):
+        __, members = evaluator.evaluate(parse_set_expression("author"))
+        assert members == sorted(members)
+
+
+class TestSetOperations:
+    def test_union(self, figure1, evaluator):
+        expression = parse_set_expression(
+            'venue{"ICDE"}.paper.author UNION venue{"KDD"}.paper.author'
+        )
+        __, members = evaluator.evaluate(expression)
+        assert names_of(figure1, "author", members) == {"Ava", "Liam", "Zoe"}
+
+    def test_intersect(self, figure1, evaluator):
+        expression = parse_set_expression(
+            'venue{"ICDE"}.paper.author INTERSECT venue{"KDD"}.paper.author'
+        )
+        __, members = evaluator.evaluate(expression)
+        # Only Zoe published in both venues.
+        assert names_of(figure1, "author", members) == {"Zoe"}
+
+    def test_except(self, figure1, evaluator):
+        expression = parse_set_expression(
+            'venue{"ICDE"}.paper.author EXCEPT venue{"KDD"}.paper.author'
+        )
+        __, members = evaluator.evaluate(expression)
+        assert names_of(figure1, "author", members) == {"Ava", "Liam"}
+
+    def test_nested_operations(self, figure1, evaluator):
+        expression = parse_set_expression(
+            '(venue{"ICDE"}.paper.author EXCEPT venue{"KDD"}.paper.author) '
+            'UNION author{"Zoe"}'
+        )
+        __, members = evaluator.evaluate(expression)
+        assert names_of(figure1, "author", members) == {"Ava", "Liam", "Zoe"}
+
+
+class TestWhereFilters:
+    def test_count_filter(self, figure1, evaluator):
+        expression = parse_set_expression(
+            "author AS A WHERE COUNT(A.paper) >= 2"
+        )
+        __, members = evaluator.evaluate(expression)
+        assert names_of(figure1, "author", members) == {"Liam", "Zoe"}
+
+    def test_paths_filter(self, figure1, evaluator):
+        # PATHS counts instances: Zoe has 5 papers -> 5 author.paper instances.
+        expression = parse_set_expression("author AS A WHERE PATHS(A.paper) = 5")
+        __, members = evaluator.evaluate(expression)
+        assert names_of(figure1, "author", members) == {"Zoe"}
+
+    def test_count_vs_paths_difference(self, figure1, evaluator):
+        """COUNT is distinct venues; PATHS is venue link instances."""
+        count_expr = parse_set_expression("author AS A WHERE COUNT(A.paper.venue) = 2")
+        paths_expr = parse_set_expression("author AS A WHERE PATHS(A.paper.venue) = 5")
+        __, by_count = evaluator.evaluate(count_expr)
+        __, by_paths = evaluator.evaluate(paths_expr)
+        # Zoe: 2 distinct venues but 5 venue links.
+        assert names_of(figure1, "author", by_count) == {"Zoe"}
+        assert names_of(figure1, "author", by_paths) == {"Zoe"}
+
+    def test_and_or_not(self, figure1, evaluator):
+        expression = parse_set_expression(
+            "author AS A WHERE COUNT(A.paper) >= 1 AND NOT COUNT(A.paper) > 2"
+        )
+        __, members = evaluator.evaluate(expression)
+        assert names_of(figure1, "author", members) == {"Ava", "Liam"}
+
+    def test_or_combination(self, figure1, evaluator):
+        expression = parse_set_expression(
+            "author AS A WHERE COUNT(A.paper) = 1 OR COUNT(A.paper) = 5"
+        )
+        __, members = evaluator.evaluate(expression)
+        assert names_of(figure1, "author", members) == {"Ava", "Zoe"}
+
+    def test_filter_on_anchored_chain(self, figure1, evaluator):
+        expression = parse_set_expression(
+            'venue{"ICDE"}.paper.author AS A WHERE COUNT(A.paper) > 1'
+        )
+        __, members = evaluator.evaluate(expression)
+        assert names_of(figure1, "author", members) == {"Liam", "Zoe"}
+
+    def test_filter_to_empty_set(self, figure1, evaluator):
+        expression = parse_set_expression("author AS A WHERE COUNT(A.paper) > 99")
+        __, members = evaluator.evaluate(expression)
+        assert members == []
+
+    def test_filtered_set_node(self, figure1, evaluator):
+        expression = parse_set_expression(
+            '(venue{"ICDE"}.paper.author UNION venue{"KDD"}.paper.author) AS A '
+            "WHERE COUNT(A.paper) >= 2"
+        )
+        __, members = evaluator.evaluate(expression)
+        assert names_of(figure1, "author", members) == {"Liam", "Zoe"}
+
+
+class TestStrategyIndependence:
+    def test_same_result_under_pm(self, figure1):
+        expression = parse_set_expression(
+            'venue{"ICDE"}.paper.author AS A WHERE COUNT(A.paper) > 1'
+        )
+        baseline = SetEvaluator(BaselineStrategy(figure1)).evaluate(expression)
+        pm = SetEvaluator(PMStrategy(figure1)).evaluate(expression)
+        assert baseline == pm

@@ -1,0 +1,71 @@
+"""Tests for per-feature score breakdowns on multi-path query results."""
+
+import pytest
+
+from repro.engine.executor import QueryExecutor
+from repro.engine.strategies import BaselineStrategy
+
+MULTI_QUERY = (
+    'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+    "JUDGED BY author.paper.venue: 2.0, author.paper.author TOP 3;"
+)
+SINGLE_QUERY = (
+    'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+    "JUDGED BY author.paper.venue TOP 3;"
+)
+
+
+class TestFeatureScores:
+    def test_single_feature_has_no_breakdown(self, figure1):
+        result = QueryExecutor(BaselineStrategy(figure1)).execute(SINGLE_QUERY)
+        assert result.feature_scores is None
+        assert result.explain_vertex(result.outliers[0].vertex) == {}
+
+    def test_multi_feature_breakdown_present(self, figure1):
+        result = QueryExecutor(BaselineStrategy(figure1)).execute(MULTI_QUERY)
+        assert result.feature_scores is not None
+        assert set(result.feature_scores) == {
+            "author.paper.venue",
+            "author.paper.author",
+        }
+
+    def test_breakdown_covers_all_candidates(self, figure1):
+        result = QueryExecutor(BaselineStrategy(figure1)).execute(MULTI_QUERY)
+        for per_path in result.feature_scores.values():
+            assert set(per_path) == set(result.scores)
+
+    def test_combined_is_weighted_average_of_breakdown(self, figure1):
+        result = QueryExecutor(BaselineStrategy(figure1)).execute(MULTI_QUERY)
+        venue = result.feature_scores["author.paper.venue"]
+        coauthor = result.feature_scores["author.paper.author"]
+        for vertex, combined in result.scores.items():
+            expected = (2.0 * venue[vertex] + coauthor[vertex]) / 3.0
+            assert combined == pytest.approx(expected)
+
+    def test_explain_vertex(self, figure1):
+        result = QueryExecutor(BaselineStrategy(figure1)).execute(MULTI_QUERY)
+        top = result.outliers[0].vertex
+        explanation = result.explain_vertex(top)
+        assert set(explanation) == {"author.paper.venue", "author.paper.author"}
+        assert all(isinstance(v, float) for v in explanation.values())
+
+    def test_breakdown_matches_single_feature_runs(self, figure1):
+        executor = QueryExecutor(BaselineStrategy(figure1))
+        multi = executor.execute(MULTI_QUERY)
+        venue_only = executor.execute(SINGLE_QUERY)
+        for vertex, score in venue_only.scores.items():
+            assert multi.feature_scores["author.paper.venue"][vertex] == (
+                pytest.approx(score)
+            )
+
+    def test_connectivity_mode_has_no_breakdown(self, figure1):
+        executor = QueryExecutor(BaselineStrategy(figure1), combine="connectivity")
+        result = executor.execute(MULTI_QUERY)
+        assert result.feature_scores is None
+
+    def test_rank_mode_keeps_raw_scores_in_breakdown(self, figure1):
+        executor = QueryExecutor(BaselineStrategy(figure1), combine="rank")
+        result = executor.execute(MULTI_QUERY)
+        # Breakdown entries are raw per-path Ω, not ranks.
+        venue_values = set(result.feature_scores["author.paper.venue"].values())
+        assert venue_values != {1.0, 2.0, 3.0}

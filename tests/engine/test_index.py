@@ -1,0 +1,138 @@
+"""Tests for :mod:`repro.engine.index`."""
+
+import pytest
+from scipy import sparse
+
+from repro.engine.index import MetaPathIndex, build_pm_index, build_spm_index
+from repro.exceptions import ExecutionError
+from repro.hin.network import VertexId
+from repro.metapath.materialize import materialize
+from repro.metapath.metapath import MetaPath
+from repro.utils.sparsetools import csr_storage_bytes
+
+PV = MetaPath.parse("author.paper.venue")
+PCA = MetaPath.parse("author.paper.author")
+
+
+class TestMetaPathIndex:
+    def test_full_matrix_lookup(self, figure1):
+        index = MetaPathIndex()
+        matrix = materialize(figure1, PV)
+        index.store_full(PV, matrix)
+        zoe = figure1.find_vertex("author", "Zoe")
+        row = index.lookup(PV, zoe.index)
+        assert (row != matrix.getrow(zoe.index)).nnz == 0
+
+    def test_lookup_missing_path_returns_none(self):
+        assert MetaPathIndex().lookup(PV, 0) is None
+
+    def test_full_lookup_out_of_range_returns_none(self, figure1):
+        index = MetaPathIndex()
+        index.store_full(PV, materialize(figure1, PV))
+        assert index.lookup(PV, 999) is None
+
+    def test_partial_rows(self, figure1):
+        index = MetaPathIndex()
+        matrix = materialize(figure1, PV)
+        index.store_row(PV, 0, matrix.getrow(0))
+        assert index.lookup(PV, 0) is not None
+        assert index.lookup(PV, 1) is None
+        assert index.has_row(PV, 0)
+        assert not index.has_row(PV, 1)
+
+    def test_partial_after_full_rejected(self, figure1):
+        index = MetaPathIndex()
+        matrix = materialize(figure1, PV)
+        index.store_full(PV, matrix)
+        with pytest.raises(ExecutionError, match="full matrix"):
+            index.store_row(PV, 0, matrix.getrow(0))
+
+    def test_full_supersedes_partial(self, figure1):
+        index = MetaPathIndex()
+        matrix = materialize(figure1, PV)
+        index.store_row(PV, 0, matrix.getrow(0))
+        index.store_full(PV, matrix)
+        assert index.full_matrix(PV) is not None
+        assert index.lookup(PV, 1) is not None
+
+    def test_multi_row_store_rejected(self, figure1):
+        index = MetaPathIndex()
+        matrix = materialize(figure1, PV)
+        with pytest.raises(ExecutionError, match="single row"):
+            index.store_row(PV, 0, matrix)
+
+    def test_size_bytes_accounting(self, figure1):
+        index = MetaPathIndex()
+        matrix = materialize(figure1, PV)
+        index.store_full(PV, matrix)
+        assert index.size_bytes() == csr_storage_bytes(matrix)
+
+    def test_partial_size_grows_with_rows(self, figure1):
+        index = MetaPathIndex()
+        matrix = materialize(figure1, PCA)
+        index.store_row(PCA, 0, matrix.getrow(0))
+        first = index.size_bytes()
+        index.store_row(PCA, 1, matrix.getrow(1))
+        assert index.size_bytes() > first
+
+    def test_row_count(self, figure1):
+        index = MetaPathIndex()
+        matrix = materialize(figure1, PV)
+        index.store_full(PV, matrix)
+        index.store_row(PCA, 0, materialize(figure1, PCA).getrow(0))
+        assert index.row_count() == matrix.shape[0] + 1
+
+    def test_paths_listing(self, figure1):
+        index = MetaPathIndex()
+        index.store_full(PV, materialize(figure1, PV))
+        index.store_row(PCA, 0, materialize(figure1, PCA).getrow(0))
+        assert set(index.paths) == {PV, PCA}
+
+
+class TestBuildPMIndex:
+    def test_all_length2_paths_materialized(self, figure1):
+        index = build_pm_index(figure1)
+        for types in figure1.schema.length2_metapaths():
+            path = MetaPath(types)
+            matrix = index.full_matrix(path)
+            assert matrix is not None
+            expected = materialize(figure1, path)
+            assert (matrix != expected).nnz == 0
+
+    def test_index_covers_12_paths(self, figure1):
+        index = build_pm_index(figure1)
+        assert len(index.paths) == 12
+
+
+class TestBuildSPMIndex:
+    def test_rows_only_for_selected(self, figure1):
+        zoe = figure1.find_vertex("author", "Zoe")
+        index = build_spm_index(figure1, [zoe])
+        assert index.has_row(PV, zoe.index)
+        assert index.has_row(PCA, zoe.index)
+        other = (zoe.index + 1) % figure1.num_vertices("author")
+        assert not index.has_row(PV, other)
+
+    def test_rows_match_materialization(self, figure1):
+        zoe = figure1.find_vertex("author", "Zoe")
+        index = build_spm_index(figure1, [zoe])
+        expected = materialize(figure1, PV).getrow(zoe.index)
+        assert (index.lookup(PV, zoe.index) != expected).nnz == 0
+
+    def test_empty_selection(self, figure1):
+        index = build_spm_index(figure1, [])
+        assert index.size_bytes() == 0
+        assert index.row_count() == 0
+
+    def test_selected_vertices_of_multiple_types(self, figure1):
+        zoe = figure1.find_vertex("author", "Zoe")
+        kdd = figure1.find_vertex("venue", "KDD")
+        index = build_spm_index(figure1, [zoe, kdd])
+        assert index.has_row(MetaPath.parse("venue.paper.author"), kdd.index)
+        assert index.has_row(PCA, zoe.index)
+
+    def test_spm_smaller_than_pm(self, small_corpus):
+        zoe = VertexId("author", 0)
+        spm = build_spm_index(small_corpus, [zoe])
+        pm = build_pm_index(small_corpus)
+        assert spm.size_bytes() < pm.size_bytes()

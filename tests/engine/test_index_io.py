@@ -1,0 +1,103 @@
+"""Tests for :mod:`repro.engine.index_io` (index persistence)."""
+
+import pytest
+
+from repro.engine.index import build_pm_index, build_spm_index
+from repro.engine.index_io import load_index, save_index
+from repro.engine.strategies import PMStrategy, SPMStrategy
+from repro.engine.executor import QueryExecutor
+from repro.exceptions import ExecutionError
+from repro.metapath.metapath import MetaPath
+
+PV = MetaPath.parse("author.paper.venue")
+
+
+def _indexes_equal(first, second) -> bool:
+    if set(map(str, first.paths)) != set(map(str, second.paths)):
+        return False
+    for path in first.paths:
+        full = first.full_matrix(path)
+        other = second.full_matrix(path)
+        if (full is None) != (other is None):
+            return False
+        if full is not None:
+            if (full != other).nnz != 0:
+                return False
+    return first.size_bytes() == second.size_bytes()
+
+
+class TestRoundTrip:
+    def test_pm_index_round_trip(self, figure1, tmp_path):
+        index = build_pm_index(figure1)
+        save_index(index, tmp_path / "pm")
+        restored = load_index(tmp_path / "pm")
+        assert _indexes_equal(index, restored)
+
+    def test_spm_index_round_trip(self, figure1, tmp_path):
+        zoe = figure1.find_vertex("author", "Zoe")
+        ava = figure1.find_vertex("author", "Ava")
+        index = build_spm_index(figure1, [zoe, ava])
+        save_index(index, tmp_path / "spm")
+        restored = load_index(tmp_path / "spm")
+        assert restored.has_row(PV, zoe.index)
+        assert restored.has_row(PV, ava.index)
+        assert (restored.lookup(PV, zoe.index) != index.lookup(PV, zoe.index)).nnz == 0
+        assert restored.size_bytes() == index.size_bytes()
+
+    def test_empty_index_round_trip(self, tmp_path):
+        from repro.engine.index import MetaPathIndex
+
+        save_index(MetaPathIndex(), tmp_path / "empty")
+        restored = load_index(tmp_path / "empty")
+        assert restored.paths == []
+
+    def test_loaded_index_produces_identical_results(self, figure1, tmp_path):
+        query = (
+            'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+            "JUDGED BY author.paper.venue TOP 3;"
+        )
+        index = build_pm_index(figure1)
+        save_index(index, tmp_path / "idx")
+        original = QueryExecutor(PMStrategy(figure1, index=index)).execute(query)
+        restored = QueryExecutor(
+            PMStrategy(figure1, index=load_index(tmp_path / "idx"))
+        ).execute(query)
+        assert original.names() == restored.names()
+
+    def test_loaded_spm_serves_lookups(self, figure1, tmp_path):
+        zoe = figure1.find_vertex("author", "Zoe")
+        save_index(build_spm_index(figure1, [zoe]), tmp_path / "s")
+        strategy = SPMStrategy(figure1, index=load_index(tmp_path / "s"))
+        from repro.engine.stats import ExecutionStats
+
+        stats = ExecutionStats()
+        strategy.neighbor_row(PV, zoe.index, stats)
+        assert stats.indexed_vectors == 1
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ExecutionError, match="manifest"):
+            load_index(tmp_path)
+
+    def test_bad_version(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"format_version": 99}')
+        with pytest.raises(ExecutionError, match="version"):
+            load_index(tmp_path)
+
+    def test_missing_data_file(self, figure1, tmp_path):
+        save_index(build_pm_index(figure1), tmp_path)
+        # Delete one data file.
+        next(tmp_path.glob("metapath_*.npz")).unlink()
+        with pytest.raises(ExecutionError, match="missing"):
+            load_index(tmp_path)
+
+    def test_corrupt_partial_rows(self, figure1, tmp_path):
+        import numpy as np
+
+        zoe = figure1.find_vertex("author", "Zoe")
+        save_index(build_spm_index(figure1, [zoe]), tmp_path)
+        rows_file = next(tmp_path.glob("*.rows.npy"))
+        np.save(rows_file, np.array([0, 1, 2], dtype=np.int64))
+        with pytest.raises(ExecutionError, match="corrupt"):
+            load_index(tmp_path)

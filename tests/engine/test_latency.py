@@ -1,0 +1,68 @@
+"""Tests for :mod:`repro.engine.latency`."""
+
+import pytest
+
+from repro.engine.detector import OutlierDetector
+from repro.engine.latency import LatencyReport
+from repro.exceptions import ExecutionError
+
+
+class TestFromSeconds:
+    def test_basic_statistics(self):
+        report = LatencyReport.from_seconds([0.001] * 99 + [0.1])
+        assert report.count == 100
+        assert report.p50 == pytest.approx(0.001)
+        assert report.maximum == pytest.approx(0.1)
+        assert report.mean == pytest.approx((99 * 0.001 + 0.1) / 100)
+
+    def test_percentiles_ordered(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        report = LatencyReport.from_seconds(rng.exponential(0.01, size=500))
+        assert report.p50 <= report.p90 <= report.p99 <= report.maximum
+
+    def test_single_sample(self):
+        report = LatencyReport.from_seconds([0.5])
+        assert report.count == 1
+        assert report.p50 == report.p99 == report.maximum == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExecutionError, match="empty"):
+            LatencyReport.from_seconds([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExecutionError, match="non-negative"):
+            LatencyReport.from_seconds([0.1, -0.1])
+
+    def test_describe_renders_milliseconds(self):
+        text = LatencyReport.from_seconds([0.002]).describe()
+        assert "p99=2.00ms" in text
+        assert "n=1" in text
+
+
+class TestFromResults:
+    def test_from_executed_workload(self, figure1):
+        detector = OutlierDetector(figure1)
+        query = (
+            'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+            "JUDGED BY author.paper.venue TOP 3;"
+        )
+        results, __ = detector.detect_many([query] * 5)
+        report = LatencyReport.from_results(results)
+        assert report.count == 5
+        assert report.mean > 0
+
+    def test_stats_required(self, figure1):
+        detector = OutlierDetector(figure1, collect_stats=False)
+        query = (
+            'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+            "JUDGED BY author.paper.venue TOP 3;"
+        )
+        results, __ = detector.detect_many([query])
+        with pytest.raises(ExecutionError, match="collect_stats"):
+            LatencyReport.from_results(results)
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ExecutionError):
+            LatencyReport.from_results([])

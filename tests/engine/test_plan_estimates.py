@@ -1,0 +1,58 @@
+"""Tests for plan cost estimation (:func:`repro.engine.plan.estimate_row_nnz`)."""
+
+import pytest
+
+from repro.engine.plan import estimate_row_nnz, explain
+from repro.engine.strategies import BaselineStrategy
+from repro.metapath.metapath import MetaPath
+
+
+class TestEstimateRowNnz:
+    def test_single_hop_is_mean_degree(self, figure2):
+        strategy = BaselineStrategy(figure2)
+        # Each author has papers in 3 venues; 18 papers over 2 authors.
+        estimate = estimate_row_nnz(strategy, MetaPath.parse("author.paper"))
+        assert estimate == pytest.approx(9.0)
+
+    def test_estimate_capped_at_target_population(self, figure2):
+        strategy = BaselineStrategy(figure2)
+        estimate = estimate_row_nnz(
+            strategy, MetaPath.parse("author.paper.venue")
+        )
+        assert estimate <= figure2.num_vertices("venue")
+
+    def test_longer_paths_not_smaller_than_warranted(self, small_corpus):
+        strategy = BaselineStrategy(small_corpus)
+        short = estimate_row_nnz(strategy, MetaPath.parse("author.paper"))
+        long = estimate_row_nnz(
+            strategy, MetaPath.parse("author.paper.venue.paper")
+        )
+        assert short > 0
+        assert long > 0
+
+    def test_estimate_within_order_of_magnitude(self, small_corpus):
+        """The proxy must land near the measured mean row nnz."""
+        strategy = BaselineStrategy(small_corpus)
+        path = MetaPath.parse("author.paper.venue")
+        estimate = estimate_row_nnz(strategy, path)
+        indices = list(range(small_corpus.num_vertices("author")))
+        matrix = strategy.neighbor_matrix(path, indices)
+        actual = matrix.nnz / matrix.shape[0]
+        assert actual / 10 <= estimate <= actual * 10
+
+    def test_zero_degree_network(self, figure1):
+        strategy = BaselineStrategy(figure1)
+        # term-paper exists in schema; figure1 has few terms, still works.
+        estimate = estimate_row_nnz(strategy, MetaPath.parse("term.paper"))
+        assert estimate >= 0
+
+
+class TestPlanCarriesEstimates:
+    def test_explain_includes_estimate(self, figure1):
+        plan = explain(
+            BaselineStrategy(figure1),
+            'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+            "JUDGED BY author.paper.venue TOP 3;",
+        )
+        assert plan.features[0].estimated_row_nnz > 0
+        assert "nnz/row" in plan.describe()

@@ -1,0 +1,151 @@
+"""Tests for :mod:`repro.engine.progressive` (anytime top-k, paper §8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.measures import CosineMeasure, NetOutMeasure, PathSimMeasure
+from repro.engine.executor import QueryExecutor
+from repro.engine.progressive import ProgressiveQueryExecutor
+from repro.engine.strategies import PMStrategy
+from repro.exceptions import ExecutionError, MeasureError
+
+QUERY = (
+    'FIND OUTLIERS FROM author{"Prof. Hub"}.paper.author '
+    "JUDGED BY author.paper.venue TOP 5;"
+)
+
+
+@pytest.fixture(scope="module")
+def strategy(ego_corpus):
+    return PMStrategy(ego_corpus.network)
+
+
+class TestContributionMatrices:
+    """The measure-level support progressive execution builds on."""
+
+    @pytest.mark.parametrize(
+        "measure", [NetOutMeasure(), PathSimMeasure(), CosineMeasure()]
+    )
+    def test_contributions_sum_to_scores(self, measure):
+        rng = np.random.default_rng(0)
+        candidates = rng.integers(0, 4, size=(6, 7)).astype(float)
+        reference = rng.integers(0, 4, size=(9, 7)).astype(float)
+        contributions = measure.contribution_matrix(candidates, reference)
+        np.testing.assert_allclose(
+            contributions.sum(axis=1),
+            measure.score(candidates, reference),
+            rtol=1e-9,
+        )
+
+    def test_additivity_flags(self):
+        assert NetOutMeasure("sum").is_additive
+        assert not NetOutMeasure("min").is_additive
+        assert PathSimMeasure("sum").is_additive
+        assert CosineMeasure("sum").is_additive
+        assert not CosineMeasure("max").is_additive
+
+    def test_non_additive_contributions_rejected(self):
+        with pytest.raises(MeasureError, match="not additive"):
+            NetOutMeasure("max").contribution_matrix(np.ones((1, 2)), np.ones((1, 2)))
+
+
+class TestStream:
+    def test_final_snapshot_matches_exact_execution(self, strategy):
+        progressive = ProgressiveQueryExecutor(strategy, chunk_size=16, seed=1)
+        snapshots = list(progressive.stream(QUERY))
+        final = snapshots[-1]
+        assert final.complete
+        assert final.fraction == 1.0
+        exact = QueryExecutor(strategy).execute(QUERY)
+        for vertex, estimate in final.estimates.items():
+            assert estimate == pytest.approx(exact.scores[vertex], rel=1e-9)
+        assert all(h == 0.0 for h in final.half_widths.values())
+
+    def test_snapshot_cadence(self, strategy):
+        progressive = ProgressiveQueryExecutor(strategy, chunk_size=10, seed=1)
+        snapshots = list(progressive.stream(QUERY))
+        total = snapshots[-1].total
+        assert len(snapshots) == -(-total // 10)  # ceil division
+        assert [s.processed for s in snapshots] == sorted(
+            s.processed for s in snapshots
+        )
+
+    def test_estimates_are_projections(self, strategy):
+        """Early estimates are scaled to the full reference size."""
+        progressive = ProgressiveQueryExecutor(strategy, chunk_size=8, seed=3)
+        first = next(iter(progressive.stream(QUERY)))
+        exact = QueryExecutor(strategy).execute(QUERY)
+        # Same order of magnitude as the final scores (not the tiny
+        # partial sums): compare medians.
+        estimate_median = np.median(list(first.estimates.values()))
+        exact_median = np.median(list(exact.scores.values()))
+        assert 0.2 < estimate_median / exact_median < 5.0
+
+    def test_multi_feature_query_rejected(self, strategy):
+        progressive = ProgressiveQueryExecutor(strategy)
+        with pytest.raises(ExecutionError, match="one feature meta-path"):
+            list(
+                progressive.stream(
+                    'FIND OUTLIERS FROM author{"Prof. Hub"}.paper.author '
+                    "JUDGED BY author.paper.venue, author.paper.author TOP 5;"
+                )
+            )
+
+    def test_non_additive_measure_rejected(self, strategy):
+        with pytest.raises(MeasureError, match="additive"):
+            ProgressiveQueryExecutor(strategy, measure=NetOutMeasure("max"))
+
+    def test_invalid_parameters(self, strategy):
+        with pytest.raises(ExecutionError):
+            ProgressiveQueryExecutor(strategy, chunk_size=0)
+        with pytest.raises(MeasureError, match="confidence"):
+            ProgressiveQueryExecutor(strategy, confidence=0.5)
+
+
+class TestExecute:
+    def test_early_stop_finds_true_top_k(self, strategy, ego_corpus):
+        progressive = ProgressiveQueryExecutor(
+            strategy, chunk_size=8, confidence=0.95, seed=5
+        )
+        result, snapshot = progressive.execute(QUERY)
+        exact = QueryExecutor(strategy).execute(QUERY)
+        assert set(result.names()) == set(exact.names())
+        assert snapshot.stable
+
+    def test_early_stop_processes_less(self, strategy):
+        progressive = ProgressiveQueryExecutor(strategy, chunk_size=8, seed=5)
+        __, stopped = progressive.execute(QUERY, early_stop=True, min_fraction=0.05)
+        __, full = progressive.execute(QUERY, early_stop=False)
+        assert full.complete
+        assert stopped.processed <= full.processed
+
+    def test_without_early_stop_scores_exact(self, strategy):
+        progressive = ProgressiveQueryExecutor(strategy, chunk_size=32, seed=2)
+        result, snapshot = progressive.execute(QUERY, early_stop=False)
+        exact = QueryExecutor(strategy).execute(QUERY)
+        assert snapshot.complete
+        assert result.names() == exact.names()
+        for vertex, score in result.scores.items():
+            assert score == pytest.approx(exact.scores[vertex], rel=1e-9)
+
+    def test_deterministic_given_seed(self, strategy):
+        first = ProgressiveQueryExecutor(strategy, chunk_size=8, seed=9).execute(QUERY)
+        second = ProgressiveQueryExecutor(strategy, chunk_size=8, seed=9).execute(QUERY)
+        assert first[0].names() == second[0].names()
+        assert first[1].processed == second[1].processed
+
+    def test_pathsim_measure_supported(self, strategy):
+        progressive = ProgressiveQueryExecutor(
+            strategy, measure="pathsim", chunk_size=16, seed=0
+        )
+        result, snapshot = progressive.execute(QUERY, early_stop=False)
+        exact = QueryExecutor(strategy, measure="pathsim").execute(QUERY)
+        assert result.names() == exact.names()
+
+    def test_empty_candidate_set(self, strategy):
+        progressive = ProgressiveQueryExecutor(strategy)
+        with pytest.raises(ExecutionError, match="empty"):
+            progressive.execute(
+                'FIND OUTLIERS FROM author AS A WHERE COUNT(A.paper) > 9999 '
+                "JUDGED BY author.paper.venue TOP 5;"
+            )

@@ -1,0 +1,142 @@
+"""Tests for :mod:`repro.hin.edges` — replay-exact canonical edge iteration.
+
+The tricky case is a *same-type symmetric* relation (e.g. ``friend``):
+its single adjacency matrix holds both mirror entries and doubled
+self-loops, so naive serialization replays to doubled counts.  These tests
+pin that :func:`canonical_edges` round-trips every relation shape exactly.
+"""
+
+import io
+
+import pytest
+
+from repro.hin.edges import canonical_edges
+from repro.hin.io import load_json, network_from_dict, network_to_dict, save_json
+from repro.hin.network import HeterogeneousInformationNetwork
+from repro.hin.schema import NetworkSchema
+from repro.hin.subnetwork import induced_subnetwork
+
+
+@pytest.fixture()
+def friend_network():
+    """user -friend- user (symmetric, same type), with a self-loop."""
+    schema = NetworkSchema(["user"])
+    schema.add_edge_type("user", "user", symmetric=True)
+    net = HeterogeneousInformationNetwork(schema)
+    alice = net.add_vertex("user", "alice")
+    bob = net.add_vertex("user", "bob")
+    carol = net.add_vertex("user", "carol")
+    net.add_edge(alice, bob)
+    net.add_edge(alice, bob)  # parallel friendship (two contexts)
+    net.add_edge(bob, carol)
+    net.add_edge(carol, carol)  # self-loop
+    return net
+
+
+@pytest.fixture()
+def citation_network():
+    """paper -cites-> paper (directed, same type)."""
+    schema = NetworkSchema(["paper"])
+    schema.add_edge_type("paper", "paper", symmetric=False)
+    net = HeterogeneousInformationNetwork(schema)
+    a = net.add_vertex("paper", "a")
+    b = net.add_vertex("paper", "b")
+    net.add_edge(a, b)
+    net.add_edge(b, a)  # mutual citation: two distinct directed edges
+    return net
+
+
+def _replay(network):
+    replayed = HeterogeneousInformationNetwork(network.schema)
+    for vertex_type in network.schema.vertex_types:
+        for name in network.vertex_names(vertex_type):
+            replayed.add_vertex(vertex_type, name)
+    for u, v, count in canonical_edges(network):
+        replayed.add_edge(u, v, count)
+    return replayed
+
+
+def _matrices_equal(a, b):
+    for edge_type in a.schema.edge_types:
+        left = a.adjacency(edge_type.source, edge_type.target)
+        right = b.adjacency(edge_type.source, edge_type.target)
+        if left.shape != right.shape or (left != right).nnz != 0:
+            return False
+    return True
+
+
+class TestCanonicalEdgesReplay:
+    def test_friend_network_replays_exactly(self, friend_network):
+        assert _matrices_equal(friend_network, _replay(friend_network))
+
+    def test_friend_matrix_values(self, friend_network):
+        matrix = friend_network.adjacency("user", "user")
+        assert matrix[0, 1] == 2.0 and matrix[1, 0] == 2.0
+        assert matrix[2, 2] == 2.0  # self-loop stored doubled by add_edge
+
+    def test_self_loop_emitted_at_original_count(self, friend_network):
+        carol = friend_network.find_vertex("user", "carol")
+        loops = [
+            count
+            for u, v, count in canonical_edges(friend_network)
+            if u == v == carol
+        ]
+        assert loops == [1.0]
+
+    def test_directed_same_type_replays_exactly(self, citation_network):
+        assert _matrices_equal(citation_network, _replay(citation_network))
+
+    def test_directed_both_directions_emitted(self, citation_network):
+        edges = list(canonical_edges(citation_network))
+        assert len(edges) == 2
+
+    def test_bibliographic_network_replays_exactly(self, figure2):
+        assert _matrices_equal(figure2, _replay(figure2))
+
+    def test_edge_count_matches_insertions(self, figure1):
+        assert len(list(canonical_edges(figure1))) == figure1.num_edges()
+
+
+class TestPersistenceWithTrickySchemas:
+    def test_friend_network_json_round_trip(self, friend_network, tmp_path):
+        path = tmp_path / "friends.json"
+        save_json(friend_network, path)
+        restored = load_json(path)
+        assert _matrices_equal(friend_network, restored)
+
+    def test_directed_network_json_round_trip(self, citation_network):
+        restored = network_from_dict(network_to_dict(citation_network))
+        assert _matrices_equal(citation_network, restored)
+        # Directedness preserved: a->b and b->a, nothing mirrored.
+        matrix = restored.adjacency("paper", "paper")
+        assert matrix[0, 1] == 1.0 and matrix[1, 0] == 1.0
+
+    def test_directed_schema_flag_survives(self, citation_network):
+        restored = network_from_dict(network_to_dict(citation_network))
+        assert not restored.schema.is_symmetric("paper", "paper")
+        # And new insertions stay one-way after the round trip.
+        c = restored.add_vertex("paper", "c")
+        a = restored.find_vertex("paper", "a")
+        restored.add_edge(c, a)
+        matrix = restored.adjacency("paper", "paper")
+        assert matrix[c.index, a.index] == 1.0
+        assert matrix[a.index, c.index] == 0.0
+
+    def test_friend_subnetwork_counts_preserved(self, friend_network):
+        sliced = induced_subnetwork(friend_network, {"user": lambda v: True})
+        assert _matrices_equal(friend_network, sliced)
+
+    def test_mixed_schema_round_trip(self):
+        """Symmetric cross-type + directed same-type in one schema."""
+        schema = NetworkSchema(["paper", "author"])
+        schema.add_edge_type("paper", "author", symmetric=True)
+        schema.add_edge_type("paper", "paper", symmetric=False)
+        net = HeterogeneousInformationNetwork(schema)
+        a = net.add_vertex("paper", "a")
+        b = net.add_vertex("paper", "b")
+        ava = net.add_vertex("author", "ava")
+        net.add_edge(a, ava)
+        net.add_edge(b, ava)
+        net.add_edge(a, b)  # a cites b
+        restored = network_from_dict(network_to_dict(net))
+        assert _matrices_equal(net, restored)

@@ -1,0 +1,122 @@
+"""Tests pinning the semantics of directed (asymmetric) edge types.
+
+Definition 1 makes the network formally directed; undirected relations are
+symmetric pairs of directed edge types (the library's default).  These
+tests pin what happens when a schema registers only one direction:
+
+* meta-paths may only walk registered directions — the reverse step is a
+  schema error, caught at validation time;
+* for *same-type* directed relations (e.g. ``paper cites paper``) both
+  "directions" name the same edge type, so a two-hop walk follows the
+  forward matrix twice (a citation-of-citation walk, not co-citation).
+  This is the documented behaviour; true ``P·P⁻¹`` semantics for such
+  relations needs an explicitly registered reverse type.
+"""
+
+import pytest
+
+from repro.exceptions import MetaPathError, SchemaError
+from repro.hin.network import HeterogeneousInformationNetwork
+from repro.hin.schema import NetworkSchema
+from repro.metapath.counting import neighbor_counts
+from repro.metapath.materialize import materialize
+from repro.metapath.metapath import MetaPath
+
+
+@pytest.fixture()
+def follower_network():
+    """user -follows-> account, registered one-way only."""
+    schema = NetworkSchema(["user", "account"])
+    schema.add_edge_type("user", "account", symmetric=False)
+    net = HeterogeneousInformationNetwork(schema)
+    alice = net.add_vertex("user", "alice")
+    bob = net.add_vertex("user", "bob")
+    star = net.add_vertex("account", "star")
+    niche = net.add_vertex("account", "niche")
+    net.add_edge(alice, star)
+    net.add_edge(alice, niche)
+    net.add_edge(bob, star)
+    return net
+
+
+@pytest.fixture()
+def citation_network():
+    """paper -cites-> paper (directed, same type)."""
+    schema = NetworkSchema(["paper"])
+    schema.add_edge_type("paper", "paper", symmetric=False)
+    net = HeterogeneousInformationNetwork(schema)
+    a = net.add_vertex("paper", "a")
+    b = net.add_vertex("paper", "b")
+    c = net.add_vertex("paper", "c")
+    net.add_edge(a, b)  # a cites b
+    net.add_edge(b, c)  # b cites c
+    return net
+
+
+class TestAsymmetricDifferentTypes:
+    def test_forward_walk_works(self, follower_network):
+        alice = follower_network.find_vertex("user", "alice")
+        counts = neighbor_counts(
+            follower_network, MetaPath.parse("user.account"), alice
+        )
+        assert len(counts) == 2
+
+    def test_reverse_walk_is_schema_error(self, follower_network):
+        with pytest.raises(MetaPathError):
+            MetaPath.parse("account.user").validate(follower_network.schema)
+
+    def test_reverse_adjacency_unavailable(self, follower_network):
+        from repro.exceptions import NetworkError
+
+        with pytest.raises(NetworkError):
+            follower_network.adjacency("account", "user")
+
+    def test_symmetric_closure_of_forward_path_invalid(self, follower_network):
+        """(user account user) needs the reverse step — rejected."""
+        sym = MetaPath.parse("user.account").symmetric()
+        with pytest.raises(MetaPathError):
+            sym.validate(follower_network.schema)
+
+
+class TestDirectedSameType:
+    def test_one_hop_is_directed(self, citation_network):
+        a = citation_network.find_vertex("paper", "a")
+        c = citation_network.find_vertex("paper", "c")
+        path = MetaPath.parse("paper.paper")
+        assert neighbor_counts(citation_network, path, a) == {1: 1.0}
+        # c cites nothing.
+        assert neighbor_counts(citation_network, path, c) == {}
+
+    def test_two_hop_follows_forward_twice(self, citation_network):
+        """Documented semantics: (paper paper paper) = citations of
+        citations, not co-citation."""
+        a = citation_network.find_vertex("paper", "a")
+        path = MetaPath.parse("paper.paper.paper")
+        counts = neighbor_counts(citation_network, path, a)
+        c = citation_network.find_vertex("paper", "c")
+        assert counts == {c.index: 1.0}
+
+    def test_matrix_matches_traversal(self, citation_network):
+        matrix = materialize(citation_network, MetaPath.parse("paper.paper.paper"))
+        assert matrix[0, 2] == 1.0
+        assert matrix.nnz == 1
+
+    def test_explicit_reverse_type_enables_true_closure(self):
+        """The supported pattern for true P·P⁻¹ on directed relations:
+        model the reverse as its own vertex-type pair via a role type."""
+        schema = NetworkSchema(["paper", "citation"])
+        schema.add_edge_type("paper", "citation", symmetric=False)
+        schema.add_edge_type("citation", "paper", symmetric=False)
+        net = HeterogeneousInformationNetwork(schema)
+        a = net.add_vertex("paper", "a")
+        b = net.add_vertex("paper", "b")
+        c = net.add_vertex("paper", "c")
+        # Reify each citation: citing paper -> citation -> cited paper.
+        for position, (src, dst) in enumerate([(a, b), (c, b)]):
+            edge = net.add_vertex("citation", f"cite{position}")
+            net.add_edge(src, edge)
+            net.add_edge(edge, dst)
+        # Co-citation: a and c both cite b.
+        path = MetaPath.parse("paper.citation.paper")
+        counts = neighbor_counts(net, path, a)
+        assert counts == {b.index: 1.0}

@@ -1,0 +1,132 @@
+"""Tests for :mod:`repro.hin.interop` (networkx round-trips)."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.hin.interop import from_networkx, infer_schema_from_networkx, to_networkx
+from repro.metapath.counting import neighbor_counts
+from repro.metapath.metapath import MetaPath
+
+
+class TestToNetworkx:
+    def test_node_population(self, figure1):
+        graph = to_networkx(figure1)
+        assert graph.number_of_nodes() == figure1.num_vertices()
+        assert ("author", "Zoe") in graph.nodes
+
+    def test_node_attributes(self, figure1):
+        graph = to_networkx(figure1)
+        attributes = graph.nodes[("author", "Zoe")]
+        assert attributes["vertex_type"] == "author"
+        assert attributes["name"] == "Zoe"
+
+    def test_edge_count_matches_num_edges(self, figure1):
+        graph = to_networkx(figure1)
+        total = sum(data["count"] for __, __, data in graph.edges(data=True))
+        assert total == figure1.num_edges()
+
+    def test_no_cross_type_edges_invented(self, figure1):
+        graph = to_networkx(figure1)
+        assert not graph.has_edge(("author", "Zoe"), ("venue", "KDD"))
+        assert graph.has_edge(("paper", "p1"), ("author", "Zoe"))
+
+    def test_parallel_counts_in_attribute(self):
+        from repro.hin import HeterogeneousInformationNetwork, bibliographic_schema
+
+        net = HeterogeneousInformationNetwork(bibliographic_schema())
+        p = net.add_vertex("paper", "p")
+        a = net.add_vertex("author", "a")
+        net.add_edge(p, a, count=3.0)
+        graph = to_networkx(net)
+        assert graph[("paper", "p")][("author", "a")]["count"] == 3.0
+
+
+class TestInferSchema:
+    def test_infers_types_and_edges(self, figure1):
+        schema = infer_schema_from_networkx(to_networkx(figure1))
+        assert schema.has_vertex_type("author")
+        assert schema.has_edge_type("paper", "author")
+        assert schema.has_edge_type("author", "paper")
+
+    def test_missing_vertex_type_rejected(self):
+        graph = nx.Graph()
+        graph.add_node("untyped")
+        with pytest.raises(SchemaError, match="vertex_type"):
+            infer_schema_from_networkx(graph)
+
+
+class TestRoundTrip:
+    def test_full_round_trip_preserves_path_counts(self, figure1):
+        restored = from_networkx(to_networkx(figure1))
+        path = MetaPath.parse("author.paper.venue")
+        zoe_original = figure1.find_vertex("author", "Zoe")
+        zoe_restored = restored.find_vertex("author", "Zoe")
+        original = {
+            figure1.vertex_names("venue")[i]: c
+            for i, c in neighbor_counts(figure1, path, zoe_original).items()
+        }
+        round_tripped = {
+            restored.vertex_names("venue")[i]: c
+            for i, c in neighbor_counts(restored, path, zoe_restored).items()
+        }
+        assert original == round_tripped
+
+    def test_round_trip_preserves_attributes(self):
+        from repro.hin import BibliographicNetworkBuilder, Publication
+
+        builder = BibliographicNetworkBuilder()
+        builder.add_publication(
+            Publication("p1", ["Ava"], "KDD", title="Graphs", year=2012)
+        )
+        restored = from_networkx(to_networkx(builder.build()))
+        paper = restored.vertex(restored.find_vertex("paper", "p1"))
+        assert paper.attributes["year"] == 2012
+
+    def test_hand_built_graph_import(self):
+        graph = nx.Graph()
+        graph.add_node("u1", vertex_type="user", name="alice")
+        graph.add_node("h1", vertex_type="host", name="web-01")
+        graph.add_edge("u1", "h1", count=2.0)
+        network = from_networkx(graph)
+        alice = network.find_vertex("user", "alice")
+        assert network.degree(alice, "host") == 2.0
+
+    def test_node_without_name_uses_str(self):
+        graph = nx.Graph()
+        graph.add_node(42, vertex_type="user")
+        network = from_networkx(graph)
+        assert network.has_vertex("user", "42")
+
+    def test_multigraph_accumulates(self):
+        graph = nx.MultiGraph()
+        graph.add_node("u", vertex_type="user", name="alice")
+        graph.add_node("h", vertex_type="host", name="web")
+        graph.add_edge("u", "h")
+        graph.add_edge("u", "h")
+        network = from_networkx(graph)
+        alice = network.find_vertex("user", "alice")
+        assert network.degree(alice, "host") == 2.0
+
+    def test_queries_run_on_imported_graph(self):
+        """The end goal: run outlier queries on a graph brought from nx."""
+        from repro.engine.detector import OutlierDetector
+
+        graph = nx.Graph()
+        for user in ("alice", "bob", "carol"):
+            graph.add_node(("user", user), vertex_type="user", name=user)
+        for host in ("h1", "h2", "h3"):
+            graph.add_node(("host", host), vertex_type="host", name=host)
+        # alice and bob share hosts; carol uses her own.
+        for user, host in (
+            ("alice", "h1"), ("alice", "h2"),
+            ("bob", "h1"), ("bob", "h2"),
+            ("carol", "h3"),
+        ):
+            graph.add_edge(("user", user), ("host", host))
+        network = from_networkx(graph)
+        detector = OutlierDetector(network)
+        result = detector.detect(
+            "FIND OUTLIERS FROM user JUDGED BY user.host TOP 1;"
+        )
+        assert result.names() == ["carol"]

@@ -1,0 +1,132 @@
+"""Tests for :mod:`repro.metapath.counting` against the paper's Section 3 examples."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetaPathError
+from repro.hin.network import VertexId
+from repro.metapath.counting import (
+    count_path_instances,
+    enumerate_path_instances,
+    neighbor_counts,
+    neighbor_vector_dense,
+    neighborhood,
+)
+from repro.metapath.metapath import MetaPath
+
+PCA = MetaPath.parse("author.paper.author")
+PV = MetaPath.parse("author.paper.venue")
+
+
+class TestPaperSection3Examples:
+    """The exact numbers quoted around Definitions 5-7."""
+
+    def test_ava_liam_coauthor_count(self, figure1):
+        ava = figure1.find_vertex("author", "Ava")
+        liam = figure1.find_vertex("author", "Liam")
+        assert count_path_instances(figure1, PCA, ava, liam) == 1.0
+
+    def test_liam_zoe_coauthor_count(self, figure1):
+        liam = figure1.find_vertex("author", "Liam")
+        zoe = figure1.find_vertex("author", "Zoe")
+        assert count_path_instances(figure1, PCA, liam, zoe) == 2.0
+
+    def test_zoe_neighborhood(self, figure1):
+        zoe = figure1.find_vertex("author", "Zoe")
+        names = {
+            figure1.vertex_name(v) for v in neighborhood(figure1, PCA, zoe)
+        }
+        # N_Pca(Zoe) = {Ava, Liam} plus Zoe herself (self-coauthor paths).
+        assert names == {"Ava", "Liam", "Zoe"}
+
+    def test_zoe_coauthor_vector(self, figure1):
+        zoe = figure1.find_vertex("author", "Zoe")
+        counts = neighbor_counts(figure1, PCA, zoe)
+        by_name = {
+            figure1.vertex_name(VertexId("author", i)): c for i, c in counts.items()
+        }
+        assert by_name == {"Ava": 1.0, "Liam": 2.0, "Zoe": 5.0}
+
+    def test_zoe_venue_vector(self, figure1):
+        zoe = figure1.find_vertex("author", "Zoe")
+        counts = neighbor_counts(figure1, PV, zoe)
+        by_name = {
+            figure1.vertex_name(VertexId("venue", i)): c for i, c in counts.items()
+        }
+        assert by_name == {"ICDE": 2.0, "KDD": 3.0}
+
+
+class TestNeighborCounts:
+    def test_wrong_start_type_rejected(self, figure1):
+        venue = figure1.find_vertex("venue", "KDD")
+        with pytest.raises(MetaPathError, match="expected type"):
+            neighbor_counts(figure1, PCA, venue)
+
+    def test_single_type_path_is_identity(self, figure1):
+        zoe = figure1.find_vertex("author", "Zoe")
+        counts = neighbor_counts(figure1, MetaPath(("author",)), zoe)
+        assert counts == {zoe.index: 1.0}
+
+    def test_disconnected_vertex_has_empty_counts(self, figure1):
+        lonely = figure1.add_vertex("author", "Lonely")
+        assert neighbor_counts(figure1, PCA, lonely) == {}
+
+    def test_long_path(self, figure1):
+        """φ along (A P V P A): Zoe reaches Ava via ICDE (2x1 papers)."""
+        zoe = figure1.find_vertex("author", "Zoe")
+        long_path = MetaPath.parse("author.paper.venue.paper.author")
+        counts = neighbor_counts(figure1, long_path, zoe)
+        ava = figure1.find_vertex("author", "Ava")
+        # Zoe has 2 ICDE papers, Ava 1 ICDE paper: 2 instances.
+        assert counts[ava.index] == 2.0
+
+    def test_dense_vector_matches_sparse_counts(self, figure1):
+        zoe = figure1.find_vertex("author", "Zoe")
+        dense = neighbor_vector_dense(figure1, PV, zoe)
+        assert dense.shape == (figure1.num_vertices("venue"),)
+        counts = neighbor_counts(figure1, PV, zoe)
+        for index, value in enumerate(dense):
+            assert counts.get(index, 0.0) == value
+
+
+class TestCountPathInstances:
+    def test_zero_when_disconnected(self, figure1):
+        ava = figure1.find_vertex("author", "Ava")
+        kdd = figure1.find_vertex("venue", "KDD")
+        assert count_path_instances(figure1, PV, ava, kdd) == 0.0
+
+    def test_wrong_end_type_rejected(self, figure1):
+        ava = figure1.find_vertex("author", "Ava")
+        with pytest.raises(MetaPathError, match="expected type"):
+            count_path_instances(figure1, PV, ava, ava)
+
+
+class TestEnumeratePathInstances:
+    def test_instances_match_counts(self, figure1):
+        liam = figure1.find_vertex("author", "Liam")
+        zoe = figure1.find_vertex("author", "Zoe")
+        instances = list(enumerate_path_instances(figure1, PCA, liam, zoe))
+        assert len(instances) == 2
+        for instance in instances:
+            assert instance[0] == liam
+            assert instance[-1] == zoe
+            assert instance[1].type == "paper"
+
+    def test_total_enumeration_matches_vector_sum(self, figure1):
+        zoe = figure1.find_vertex("author", "Zoe")
+        instances = list(enumerate_path_instances(figure1, PCA, zoe))
+        total = sum(neighbor_counts(figure1, PCA, zoe).values())
+        assert len(instances) == int(total)
+
+    def test_limit(self, figure1):
+        zoe = figure1.find_vertex("author", "Zoe")
+        limited = list(enumerate_path_instances(figure1, PCA, zoe, limit=3))
+        assert len(limited) == 3
+
+    def test_wrong_types_rejected(self, figure1):
+        kdd = figure1.find_vertex("venue", "KDD")
+        zoe = figure1.find_vertex("author", "Zoe")
+        with pytest.raises(MetaPathError):
+            list(enumerate_path_instances(figure1, PCA, kdd))
+        with pytest.raises(MetaPathError):
+            list(enumerate_path_instances(figure1, PV, zoe, end=zoe))

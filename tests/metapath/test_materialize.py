@@ -1,0 +1,98 @@
+"""Tests for :mod:`repro.metapath.materialize`."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import MetaPathError
+from repro.metapath.counting import neighbor_vector_dense
+from repro.metapath.materialize import decompose_length2, materialize, materialize_row
+from repro.metapath.metapath import MetaPath
+
+PCA = MetaPath.parse("author.paper.author")
+PV = MetaPath.parse("author.paper.venue")
+
+
+class TestMaterialize:
+    def test_matrix_matches_traversal(self, figure1):
+        matrix = materialize(figure1, PCA)
+        for vertex in figure1.vertices("author"):
+            dense_row = np.asarray(matrix.getrow(vertex.index).todense()).ravel()
+            expected = neighbor_vector_dense(figure1, PCA, vertex)
+            np.testing.assert_allclose(dense_row, expected)
+
+    def test_shape(self, figure1):
+        matrix = materialize(figure1, PV)
+        assert matrix.shape == (
+            figure1.num_vertices("author"),
+            figure1.num_vertices("venue"),
+        )
+
+    def test_length0_is_identity(self, figure1):
+        matrix = materialize(figure1, MetaPath(("author",)))
+        count = figure1.num_vertices("author")
+        assert (matrix != sparse.identity(count, format="csr")).nnz == 0
+
+    def test_symmetric_path_matrix_is_symmetric(self, figure1):
+        matrix = materialize(figure1, PV.symmetric())
+        assert (matrix != matrix.T).nnz == 0
+
+    def test_invalid_path_rejected(self, figure1):
+        with pytest.raises(MetaPathError):
+            materialize(figure1, MetaPath.parse("author.venue"))
+
+    def test_longer_path_composition(self, figure1):
+        """M_(APVPA) == M_(APV) @ M_(APV).T (symmetric closure identity)."""
+        direct = materialize(figure1, MetaPath.parse("author.paper.venue.paper.author"))
+        via = materialize(figure1, PV)
+        composed = (via @ via.T).tocsr()
+        assert (direct != composed).nnz == 0
+
+
+class TestMaterializeRow:
+    def test_row_matches_full_matrix(self, figure1):
+        matrix = materialize(figure1, PCA)
+        for vertex in figure1.vertices("author"):
+            row = materialize_row(figure1, PCA, vertex)
+            assert (row != matrix.getrow(vertex.index)).nnz == 0
+
+    def test_wrong_start_type_rejected(self, figure1):
+        kdd = figure1.find_vertex("venue", "KDD")
+        with pytest.raises(MetaPathError):
+            materialize_row(figure1, PCA, kdd)
+
+    def test_row_shape(self, figure1):
+        zoe = figure1.find_vertex("author", "Zoe")
+        row = materialize_row(figure1, PV, zoe)
+        assert row.shape == (1, figure1.num_vertices("venue"))
+
+
+class TestDecomposeLength2:
+    def test_even_length(self):
+        segments, tail = decompose_length2(MetaPath.parse("a.p.v.p.t"))
+        assert [str(s) for s in segments] == ["a.p.v", "v.p.t"]
+        assert tail is None
+
+    def test_odd_length(self):
+        segments, tail = decompose_length2(MetaPath.parse("a.p.v.p"))
+        assert [str(s) for s in segments] == ["a.p.v"]
+        assert str(tail) == "v.p"
+
+    def test_single_hop(self):
+        segments, tail = decompose_length2(MetaPath.parse("a.p"))
+        assert segments == []
+        assert str(tail) == "a.p"
+
+    def test_length0(self):
+        segments, tail = decompose_length2(MetaPath(("a",)))
+        assert segments == []
+        assert tail is None
+
+    def test_recomposition_reproduces_path(self):
+        path = MetaPath.parse("a.p.v.p.t.p.a")
+        segments, tail = decompose_length2(path)
+        pieces = segments + ([tail] if tail is not None else [])
+        recomposed = pieces[0]
+        for piece in pieces[1:]:
+            recomposed = recomposed.concat(piece)
+        assert recomposed == path

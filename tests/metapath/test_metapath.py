@@ -1,0 +1,153 @@
+"""Tests for :mod:`repro.metapath.metapath` (Definitions 2-4 and §5.1)."""
+
+import pytest
+
+from repro.exceptions import MetaPathError
+from repro.hin.schema import bibliographic_schema
+from repro.metapath.metapath import MetaPath, WeightedMetaPath, normalize_paths
+
+
+class TestConstruction:
+    def test_basic(self):
+        path = MetaPath(("author", "paper", "venue"))
+        assert path.source == "author"
+        assert path.target == "venue"
+        assert path.length == 2
+        assert len(path) == 3
+
+    def test_parse_dotted(self):
+        assert MetaPath.parse("author.paper.venue") == MetaPath(
+            ("author", "paper", "venue")
+        )
+
+    def test_parse_strips_whitespace(self):
+        assert MetaPath.parse(" author . paper ") == MetaPath(("author", "paper"))
+
+    def test_parse_empty_component_rejected(self):
+        with pytest.raises(MetaPathError):
+            MetaPath.parse("author..venue")
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetaPathError):
+            MetaPath(())
+
+    def test_non_string_type_rejected(self):
+        with pytest.raises(MetaPathError):
+            MetaPath(("author", 3))
+
+    def test_list_input_normalized_to_tuple(self):
+        path = MetaPath(["author", "paper"])
+        assert path.types == ("author", "paper")
+        assert hash(path) == hash(MetaPath(("author", "paper")))
+
+    def test_str(self):
+        assert str(MetaPath(("a", "p", "v"))) == "a.p.v"
+
+    def test_iteration(self):
+        assert list(MetaPath(("a", "p"))) == ["a", "p"]
+
+
+class TestAlgebra:
+    """Reversal / concatenation / symmetric closure (Definitions 3-4)."""
+
+    def test_reversal_definition3(self):
+        # Paper example: P = (APV) reverses to (VPA).
+        assert MetaPath.parse("author.paper.venue").reversed() == MetaPath.parse(
+            "venue.paper.author"
+        )
+
+    def test_reversal_is_involution(self):
+        path = MetaPath.parse("a.p.v.p.t")
+        assert path.reversed().reversed() == path
+
+    def test_concat_definition4(self):
+        # Paper example: (APV) concat (VPT) = (APVPT).
+        joined = MetaPath.parse("author.paper.venue").concat(
+            MetaPath.parse("venue.paper.term")
+        )
+        assert joined == MetaPath.parse("author.paper.venue.paper.term")
+
+    def test_concat_junction_mismatch(self):
+        with pytest.raises(MetaPathError, match="junction"):
+            MetaPath.parse("author.paper").concat(MetaPath.parse("venue.paper"))
+
+    def test_symmetric_section51(self):
+        # Psym = P · P⁻¹ links the source type to itself.
+        sym = MetaPath.parse("author.paper.venue").symmetric()
+        assert sym == MetaPath.parse("author.paper.venue.paper.author")
+        assert sym.is_symmetric
+
+    def test_is_symmetric_detects_palindromes(self):
+        assert MetaPath.parse("author.paper.author").is_symmetric
+        assert not MetaPath.parse("author.paper.venue").is_symmetric
+
+    def test_single_type_symmetric(self):
+        single = MetaPath(("author",))
+        assert single.symmetric() == single
+
+    def test_prefix(self):
+        path = MetaPath.parse("a.p.v.p.t")
+        assert path.prefix(3) == MetaPath.parse("a.p.v")
+        assert path.prefix(1) == MetaPath(("a",))
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(MetaPathError):
+            MetaPath.parse("a.p").prefix(3)
+        with pytest.raises(MetaPathError):
+            MetaPath.parse("a.p").prefix(0)
+
+
+class TestSchemaValidation:
+    def test_valid_path(self):
+        MetaPath.parse("author.paper.venue").validate(bibliographic_schema())
+
+    def test_invalid_step(self):
+        with pytest.raises(MetaPathError):
+            MetaPath.parse("author.venue").validate(bibliographic_schema())
+
+
+class TestWeightedMetaPath:
+    def test_default_weight(self):
+        weighted = WeightedMetaPath(MetaPath.parse("a.p"))
+        assert weighted.weight == 1.0
+
+    def test_parse_with_weight(self):
+        weighted = WeightedMetaPath.parse("author.paper.venue: 2.0")
+        assert weighted.weight == 2.0
+        assert weighted.path == MetaPath.parse("author.paper.venue")
+
+    def test_parse_without_weight(self):
+        assert WeightedMetaPath.parse("a.p").weight == 1.0
+
+    def test_parse_malformed_weight(self):
+        with pytest.raises(MetaPathError, match="weight"):
+            WeightedMetaPath.parse("a.p: heavy")
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(MetaPathError):
+            WeightedMetaPath(MetaPath.parse("a.p"), 0.0)
+
+    def test_str_hides_unit_weight(self):
+        assert str(WeightedMetaPath.parse("a.p")) == "a.p"
+        assert str(WeightedMetaPath.parse("a.p: 3")) == "a.p: 3"
+
+
+class TestNormalizePaths:
+    def test_mixed_inputs(self):
+        paths = normalize_paths(
+            [
+                "a.p.v",
+                "a.p.t: 2.5",
+                MetaPath.parse("a.p.a"),
+                WeightedMetaPath(MetaPath.parse("a.p"), 4.0),
+            ]
+        )
+        assert [w.weight for w in paths] == [1.0, 2.5, 1.0, 4.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetaPathError):
+            normalize_paths([])
+
+    def test_bad_item_rejected(self):
+        with pytest.raises(MetaPathError):
+            normalize_paths([42])

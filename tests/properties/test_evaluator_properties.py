@@ -1,0 +1,120 @@
+"""Property-based tests for set-expression evaluation (set-algebra laws)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.evaluator import SetEvaluator
+from repro.engine.strategies import BaselineStrategy
+from repro.hin.bibliographic import BibliographicNetworkBuilder, Publication
+from repro.query.ast import Chain, SetOperation
+from repro.query.parser import parse_set_expression
+
+author_pool = [f"A{i}" for i in range(6)]
+venue_pool = ["V0", "V1", "V2"]
+
+publications = st.builds(
+    lambda key, authors, venue: Publication(
+        key=f"p{key}", authors=sorted(set(authors)), venue=venue, terms=["t"]
+    ),
+    key=st.integers(0, 10_000),
+    authors=st.lists(st.sampled_from(author_pool), min_size=1, max_size=3),
+    venue=st.sampled_from(venue_pool),
+)
+
+
+@st.composite
+def networks(draw):
+    records = draw(
+        st.lists(publications, min_size=2, max_size=10, unique_by=lambda p: p.key)
+    )
+    builder = BibliographicNetworkBuilder()
+    builder.add_publications(records)
+    return builder.build()
+
+
+def _chains_for(network):
+    """Anchored chains over venues that actually exist in the network."""
+    venues = network.vertex_names("venue")
+    return st.sampled_from(
+        [
+            Chain(types=("venue", "paper", "author"), anchor=v)
+            for v in venues
+        ]
+    )
+
+
+def evaluate(network, expression):
+    evaluator = SetEvaluator(BaselineStrategy(network))
+    __, members = evaluator.evaluate(expression)
+    return set(members)
+
+
+class TestSetAlgebraLaws:
+    @given(networks(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_union_commutative(self, network, data):
+        chains = _chains_for(network)
+        a = data.draw(chains)
+        b = data.draw(chains)
+        forward = evaluate(network, SetOperation("UNION", a, b))
+        backward = evaluate(network, SetOperation("UNION", b, a))
+        assert forward == backward
+
+    @given(networks(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_intersect_is_subset_of_union(self, network, data):
+        chains = _chains_for(network)
+        a = data.draw(chains)
+        b = data.draw(chains)
+        intersection = evaluate(network, SetOperation("INTERSECT", a, b))
+        union = evaluate(network, SetOperation("UNION", a, b))
+        assert intersection <= union
+
+    @given(networks(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_except_partitions(self, network, data):
+        """A = (A \\ B) ∪ (A ∩ B), disjointly."""
+        chains = _chains_for(network)
+        a = data.draw(chains)
+        b = data.draw(chains)
+        whole = evaluate(network, a)
+        difference = evaluate(network, SetOperation("EXCEPT", a, b))
+        intersection = evaluate(network, SetOperation("INTERSECT", a, b))
+        assert difference | intersection == whole
+        assert not difference & intersection
+
+    @given(networks(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_set_semantics_match_python_sets(self, network, data):
+        """Engine set ops agree with Python's on the evaluated operands."""
+        chains = _chains_for(network)
+        a = data.draw(chains)
+        b = data.draw(chains)
+        left, right = evaluate(network, a), evaluate(network, b)
+        assert evaluate(network, SetOperation("UNION", a, b)) == left | right
+        assert evaluate(network, SetOperation("INTERSECT", a, b)) == left & right
+        assert evaluate(network, SetOperation("EXCEPT", a, b)) == left - right
+
+    @given(networks())
+    @settings(max_examples=30, deadline=None)
+    def test_where_filter_is_a_subset(self, network):
+        unfiltered = evaluate(network, parse_set_expression("author"))
+        filtered = evaluate(
+            network,
+            parse_set_expression("author AS A WHERE COUNT(A.paper) >= 2"),
+        )
+        assert filtered <= unfiltered
+
+    @given(networks())
+    @settings(max_examples=30, deadline=None)
+    def test_where_and_not_where_partition(self, network):
+        condition = "COUNT(author.paper) >= 2"
+        whole = evaluate(network, parse_set_expression("author"))
+        positive = evaluate(
+            network, parse_set_expression(f"author WHERE {condition}")
+        )
+        negative = evaluate(
+            network, parse_set_expression(f"author WHERE NOT {condition}")
+        )
+        assert positive | negative == whole
+        assert not positive & negative

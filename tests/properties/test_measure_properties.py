@@ -1,0 +1,149 @@
+"""Property-based tests for the outlierness measures (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.connectivity import (
+    connectivity,
+    normalized_connectivity,
+    visibility,
+)
+from repro.core.measures import CosineMeasure, NetOutMeasure, PathSimMeasure
+
+# Small non-negative integer matrices: the shape neighbor vectors take
+# (path counts are non-negative and overwhelmingly small integers).
+counts = st.integers(min_value=0, max_value=6)
+
+
+def phi_matrices(max_rows=6, max_cols=5):
+    return st.tuples(
+        st.integers(1, max_rows), st.integers(1, max_rows), st.integers(1, max_cols)
+    ).flatmap(
+        lambda dims: st.tuples(
+            hnp.arrays(np.float64, (dims[0], dims[2]), elements=counts.map(float)),
+            hnp.arrays(np.float64, (dims[1], dims[2]), elements=counts.map(float)),
+        )
+    )
+
+
+class TestConnectivityProperties:
+    @given(
+        hnp.arrays(np.float64, 5, elements=counts.map(float)),
+        hnp.arrays(np.float64, 5, elements=counts.map(float)),
+    )
+    def test_connectivity_symmetric_nonnegative(self, a, b):
+        assert connectivity(a, b) == connectivity(b, a)
+        assert connectivity(a, b) >= 0.0
+
+    @given(hnp.arrays(np.float64, 5, elements=counts.map(float)))
+    def test_self_normalized_connectivity(self, a):
+        kappa = normalized_connectivity(a, a)
+        if visibility(a) > 0:
+            assert kappa == pytest.approx(1.0)
+        else:
+            assert kappa == 0.0
+
+    @given(
+        hnp.arrays(np.float64, 5, elements=counts.map(float)),
+        hnp.arrays(np.float64, 5, elements=counts.map(float)),
+    )
+    def test_kappa_product_identity(self, a, b):
+        """κ(a,b)·vis(a) == κ(b,a)·vis(b) == χ(a,b)."""
+        chi = connectivity(a, b)
+        if visibility(a) > 0:
+            assert normalized_connectivity(a, b) * visibility(a) == pytest.approx(chi)
+        if visibility(b) > 0:
+            assert normalized_connectivity(b, a) * visibility(b) == pytest.approx(chi)
+
+
+class TestMeasureEquivalences:
+    @given(phi_matrices())
+    @settings(max_examples=60)
+    def test_netout_vectorized_equals_pairwise(self, matrices):
+        candidates, reference = matrices
+        vectorized = NetOutMeasure().score(candidates, reference)
+        pairwise = NetOutMeasure().score_pairwise(candidates, reference)
+        np.testing.assert_allclose(vectorized, pairwise, rtol=1e-9, atol=1e-12)
+
+    @given(phi_matrices())
+    @settings(max_examples=60)
+    def test_cossim_vectorized_equals_pairwise(self, matrices):
+        candidates, reference = matrices
+        vectorized = CosineMeasure().score(candidates, reference)
+        pairwise = CosineMeasure().score_pairwise(candidates, reference)
+        np.testing.assert_allclose(vectorized, pairwise, rtol=1e-9, atol=1e-12)
+
+    @given(phi_matrices())
+    @settings(max_examples=40)
+    def test_scores_nonnegative(self, matrices):
+        candidates, reference = matrices
+        for measure in (NetOutMeasure(), PathSimMeasure(), CosineMeasure()):
+            assert (measure.score(candidates, reference) >= 0).all()
+
+    @given(phi_matrices())
+    @settings(max_examples=40)
+    def test_reference_permutation_invariance(self, matrices):
+        """Ω sums over the reference set — its order cannot matter."""
+        candidates, reference = matrices
+        rng = np.random.default_rng(0)
+        permuted = reference[rng.permutation(reference.shape[0])]
+        for measure in (NetOutMeasure(), PathSimMeasure(), CosineMeasure()):
+            np.testing.assert_allclose(
+                measure.score(candidates, reference),
+                measure.score(candidates, permuted),
+                rtol=1e-9,
+            )
+
+    @given(phi_matrices())
+    @settings(max_examples=40)
+    def test_duplicating_reference_doubles_sum_scores(self, matrices):
+        candidates, reference = matrices
+        doubled = np.vstack([reference, reference])
+        for measure in (NetOutMeasure(), PathSimMeasure(), CosineMeasure()):
+            np.testing.assert_allclose(
+                2.0 * measure.score(candidates, reference),
+                measure.score(candidates, doubled),
+                rtol=1e-9,
+                atol=1e-12,
+            )
+
+    @given(phi_matrices())
+    @settings(max_examples=40)
+    def test_min_le_mean_le_max(self, matrices):
+        candidates, reference = matrices
+        low = NetOutMeasure("min").score(candidates, reference)
+        mean = NetOutMeasure("mean").score(candidates, reference)
+        high = NetOutMeasure("max").score(candidates, reference)
+        assert (low <= mean + 1e-9).all()
+        assert (mean <= high + 1e-9).all()
+
+    @given(phi_matrices())
+    @settings(max_examples=40)
+    def test_self_in_reference_bounds_netout_below_by_one(self, matrices):
+        """With Sr ⊇ {v}, Ω(v) ≥ κ(v,v) = 1 for any visible v."""
+        candidates, __ = matrices
+        scores = NetOutMeasure().score(candidates, candidates)
+        visible = np.einsum("ij,ij->i", candidates, candidates) > 0
+        assert (scores[visible] >= 1.0 - 1e-9).all()
+
+    @given(phi_matrices(), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40)
+    def test_cossim_scale_invariance(self, matrices, scale):
+        candidates, reference = matrices
+        np.testing.assert_allclose(
+            CosineMeasure().score(candidates * scale, reference),
+            CosineMeasure().score(candidates, reference),
+            rtol=1e-8,
+            atol=1e-10,
+        )
+
+    @given(phi_matrices())
+    @settings(max_examples=40)
+    def test_pathsim_bounded_by_reference_count(self, matrices):
+        """PathSim(a,b) ≤ 1, so ΩPathSim ≤ |Sr|."""
+        candidates, reference = matrices
+        scores = PathSimMeasure().score(candidates, reference)
+        assert (scores <= reference.shape[0] + 1e-9).all()

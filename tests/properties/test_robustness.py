@@ -1,0 +1,97 @@
+"""Robustness properties: no internal crashes on hostile input.
+
+The parser and tokenizer must fail *only* with
+:class:`~repro.exceptions.QueryError` on arbitrary input — never with
+IndexError/TypeError/RecursionError — and the executor must fail only with
+the documented :class:`~repro.exceptions.ReproError` hierarchy.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import QueryError, ReproError
+from repro.query.parser import parse_query, parse_set_expression
+from repro.query.tokens import tokenize
+
+# Text likely to stress the grammar: keywords, punctuation, quotes, digits.
+query_alphabet = st.sampled_from(
+    [
+        "FIND", "OUTLIERS", "FROM", "IN", "COMPARED", "TO", "JUDGED", "BY",
+        "TOP", "AS", "WHERE", "COUNT", "PATHS", "AND", "OR", "NOT", "UNION",
+        "INTERSECT", "EXCEPT", "author", "paper", "venue", "A",
+        ".", ",", ";", ":", "(", ")", "{", "}", '"', '"x"', ">", ">=", "=",
+        "10", "2.5", " ", "\n",
+    ]
+)
+query_soup = st.lists(query_alphabet, min_size=0, max_size=25).map(" ".join)
+
+arbitrary_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=80
+)
+
+
+class TestParserNeverCrashes:
+    @given(query_soup)
+    @settings(max_examples=300)
+    def test_parse_query_fails_cleanly_on_soup(self, text):
+        try:
+            parse_query(text)
+        except QueryError:
+            pass  # the only acceptable failure mode
+
+    @given(arbitrary_text)
+    @settings(max_examples=300)
+    def test_parse_query_fails_cleanly_on_arbitrary_text(self, text):
+        try:
+            parse_query(text)
+        except QueryError:
+            pass
+
+    @given(arbitrary_text)
+    @settings(max_examples=200)
+    def test_tokenizer_fails_cleanly(self, text):
+        try:
+            tokenize(text)
+        except QueryError:
+            pass
+
+    @given(query_soup)
+    @settings(max_examples=200)
+    def test_set_expression_fails_cleanly(self, text):
+        try:
+            parse_set_expression(text)
+        except QueryError:
+            pass
+
+    def test_deeply_nested_parentheses_fail_cleanly(self):
+        """Hostile nesting depth gets a QueryError, never RecursionError."""
+        depth = 4000
+        text = "(" * depth + "author" + ")" * depth
+        with pytest.raises(QueryError, match="nesting"):
+            parse_set_expression(text)
+
+    def test_deeply_nested_not_fails_cleanly(self):
+        text = "author WHERE " + "NOT " * 4000 + "COUNT(author.paper) > 1"
+        with pytest.raises(QueryError, match="nesting"):
+            parse_set_expression(text)
+
+    def test_reasonable_nesting_accepted(self):
+        text = "(" * 20 + "author" + ")" * 20
+        parse_set_expression(text)
+
+
+class TestExecutorErrorDiscipline:
+    @given(query_soup)
+    @settings(max_examples=100, deadline=None)
+    def test_detector_raises_only_repro_errors(self, figure1_text_query):
+        from repro.datagen.fixtures import figure1_network
+        from repro.engine.detector import OutlierDetector
+
+        detector = OutlierDetector(figure1_network())
+        try:
+            detector.detect(figure1_text_query)
+        except ReproError:
+            pass

@@ -1,0 +1,153 @@
+"""Tests for attribute predicates in WHERE clauses (``A.year >= 2000``)."""
+
+import pytest
+
+from repro.engine.evaluator import SetEvaluator
+from repro.engine.strategies import BaselineStrategy
+from repro.exceptions import QuerySemanticError, QuerySyntaxError
+from repro.hin.bibliographic import BibliographicNetworkBuilder, Publication
+from repro.hin.schema import bibliographic_schema
+from repro.query.ast import AttributeComparison
+from repro.query.formatter import format_condition, format_query
+from repro.query.parser import parse_query, parse_set_expression
+from repro.query.semantics import member_type_of, validate_query
+
+
+@pytest.fixture()
+def dated_network():
+    """Papers with year attributes, for WHERE-based temporal slicing."""
+    builder = BibliographicNetworkBuilder()
+    builder.add_publications(
+        [
+            Publication("old1", ["Ava"], "KDD", terms=["t"], year=1995),
+            Publication("old2", ["Liam"], "KDD", terms=["t"], year=1999),
+            Publication("new1", ["Ava"], "ICDE", terms=["t"], year=2010),
+            Publication("new2", ["Zoe"], "ICDE", terms=["t"], year=2012),
+            Publication("untitled", ["Zoe"], "KDD", terms=["t"]),  # no year
+        ]
+    )
+    return builder.build()
+
+
+class TestParsing:
+    def test_numeric_attribute_comparison(self):
+        expression = parse_set_expression("paper AS P WHERE P.year >= 2000")
+        assert expression.where == AttributeComparison(
+            alias="P", attribute="year", operator=">=", value=2000.0
+        )
+
+    def test_string_attribute_comparison(self):
+        expression = parse_set_expression('paper AS P WHERE P.title = "Graphs"')
+        assert expression.where == AttributeComparison(
+            alias="P", attribute="title", operator="=", value="Graphs"
+        )
+
+    def test_string_with_inequality_rejected(self):
+        with pytest.raises(QuerySyntaxError, match="string attributes"):
+            parse_set_expression('paper AS P WHERE P.title > "Graphs"')
+
+    def test_mixed_with_count_conditions(self):
+        expression = parse_set_expression(
+            "author AS A WHERE COUNT(A.paper) > 1 AND A.seniority >= 5"
+        )
+        assert expression.where.operator == "AND"
+
+    def test_synonym_operators_normalized(self):
+        expression = parse_set_expression("paper AS P WHERE P.year <> 2000")
+        assert expression.where.operator == "!="
+
+
+class TestFormatting:
+    def test_numeric_round_trip(self):
+        text = "paper AS P WHERE P.year >= 2000"
+        expression = parse_set_expression(text)
+        assert parse_set_expression(
+            f"paper AS P WHERE {format_condition(expression.where)}"
+        ).where == expression.where
+
+    def test_string_round_trip_with_escaping(self):
+        expression = parse_set_expression('paper AS P WHERE P.title = "a \\"b\\""')
+        rendered = format_condition(expression.where)
+        assert parse_set_expression(f"paper AS P WHERE {rendered}").where == (
+            expression.where
+        )
+
+    def test_full_query_round_trip(self):
+        text = (
+            'FIND OUTLIERS FROM venue{"KDD"}.paper AS P WHERE P.year >= 2000 '
+            "JUDGED BY paper.term TOP 5;"
+        )
+        query = parse_query(text)
+        assert parse_query(format_query(query)) == query
+
+
+class TestSemantics:
+    def test_alias_validated(self):
+        schema = bibliographic_schema()
+        expression = parse_set_expression("paper AS P WHERE Q.year > 2000")
+        with pytest.raises(QuerySemanticError, match="unknown alias"):
+            member_type_of(schema, expression)
+
+    def test_member_type_name_usable(self):
+        schema = bibliographic_schema()
+        expression = parse_set_expression("paper WHERE paper.year > 2000")
+        assert member_type_of(schema, expression) == "paper"
+
+    def test_validates_in_full_query(self):
+        schema = bibliographic_schema()
+        query = parse_query(
+            "FIND OUTLIERS FROM paper AS P WHERE P.year >= 2000 "
+            "JUDGED BY paper.term TOP 5;"
+        )
+        assert validate_query(schema, query).member_type == "paper"
+
+
+class TestEvaluation:
+    def _papers(self, network, where):
+        evaluator = SetEvaluator(BaselineStrategy(network))
+        expression = parse_set_expression(f"paper AS P WHERE {where}")
+        __, members = evaluator.evaluate(expression)
+        names = network.vertex_names("paper")
+        return {names[i] for i in members}
+
+    def test_numeric_filter(self, dated_network):
+        assert self._papers(dated_network, "P.year >= 2000") == {"new1", "new2"}
+
+    def test_missing_attribute_fails_predicate(self, dated_network):
+        papers = self._papers(dated_network, "P.year < 3000")
+        assert "untitled" not in papers
+        assert len(papers) == 4
+
+    def test_not_inverts_null_semantics_too(self, dated_network):
+        """NOT (year < 3000) keeps the yearless paper: NOT of False."""
+        papers = self._papers(dated_network, "NOT P.year < 3000")
+        assert papers == {"untitled"}
+
+    def test_string_equality(self, dated_network):
+        # Titles are stored only when provided; use year-less paper names.
+        papers = self._papers(dated_network, 'P.title = "nothing"')
+        assert papers == set()
+
+    def test_type_mismatch_fails(self, dated_network):
+        # year is numeric; comparing as string fails every row.
+        assert self._papers(dated_network, 'P.year = "1995"') == set()
+
+    def test_combined_walk_and_attribute(self, dated_network):
+        evaluator = SetEvaluator(BaselineStrategy(dated_network))
+        expression = parse_set_expression(
+            'venue{"KDD"}.paper AS P WHERE P.year <= 1999'
+        )
+        __, members = evaluator.evaluate(expression)
+        names = dated_network.vertex_names("paper")
+        assert {names[i] for i in members} == {"old1", "old2"}
+
+    def test_end_to_end_query(self, dated_network):
+        """Temporal slicing inside a full outlier query."""
+        from repro.engine.detector import OutlierDetector
+
+        detector = OutlierDetector(dated_network)
+        result = detector.detect(
+            "FIND OUTLIERS FROM paper AS P WHERE P.year >= 2000 "
+            "JUDGED BY paper.venue TOP 2;"
+        )
+        assert set(result.names()) <= {"new1", "new2"}

@@ -1,0 +1,163 @@
+"""Tests for :mod:`repro.query.semantics`."""
+
+import pytest
+
+from repro.exceptions import QuerySemanticError
+from repro.hin.schema import bibliographic_schema
+from repro.metapath.metapath import MetaPath
+from repro.query.parser import parse_query, parse_set_expression
+from repro.query.semantics import member_type_of, validate_query
+
+
+@pytest.fixture()
+def schema():
+    return bibliographic_schema()
+
+
+def q(text):
+    return parse_query(text)
+
+
+class TestMemberTypeOf:
+    def test_chain_member_type(self, schema):
+        expression = parse_set_expression('venue{"EDBT"}.paper.author')
+        assert member_type_of(schema, expression) == "author"
+
+    def test_bare_type(self, schema):
+        assert member_type_of(schema, parse_set_expression("author")) == "author"
+
+    def test_illegal_chain_step(self, schema):
+        expression = parse_set_expression('author{"X"}.venue')
+        with pytest.raises(QuerySemanticError, match="author-venue"):
+            member_type_of(schema, expression)
+
+    def test_unknown_type(self, schema):
+        expression = parse_set_expression('galaxy{"X"}')
+        with pytest.raises(QuerySemanticError, match="unknown vertex type"):
+            member_type_of(schema, expression)
+
+    def test_set_operation_same_member_type(self, schema):
+        expression = parse_set_expression(
+            'venue{"A"}.paper.author UNION venue{"B"}.paper.author'
+        )
+        assert member_type_of(schema, expression) == "author"
+
+    def test_set_operation_mismatched_types(self, schema):
+        expression = parse_set_expression(
+            'venue{"A"}.paper.author UNION venue{"B"}.paper'
+        )
+        with pytest.raises(QuerySemanticError, match="different member types"):
+            member_type_of(schema, expression)
+
+    def test_filtered_set_member_type(self, schema):
+        expression = parse_set_expression(
+            '(venue{"A"}.paper.author) AS A WHERE COUNT(A.paper) > 1'
+        )
+        assert member_type_of(schema, expression) == "author"
+
+
+class TestWhereValidation:
+    def test_alias_reference_ok(self, schema):
+        expression = parse_set_expression(
+            'venue{"A"}.paper.author AS A WHERE COUNT(A.paper) > 1'
+        )
+        member_type_of(schema, expression)
+
+    def test_member_type_name_usable_without_alias(self, schema):
+        expression = parse_set_expression(
+            'venue{"A"}.paper.author WHERE COUNT(author.paper) > 1'
+        )
+        member_type_of(schema, expression)
+
+    def test_unknown_alias_rejected(self, schema):
+        expression = parse_set_expression(
+            'venue{"A"}.paper.author AS A WHERE COUNT(B.paper) > 1'
+        )
+        with pytest.raises(QuerySemanticError, match="unknown alias"):
+            member_type_of(schema, expression)
+
+    def test_illegal_walk_rejected(self, schema):
+        expression = parse_set_expression(
+            'venue{"A"}.paper.author AS A WHERE COUNT(A.venue) > 1'
+        )
+        with pytest.raises(QuerySemanticError, match="WHERE walk"):
+            member_type_of(schema, expression)
+
+    def test_nested_boolean_conditions_validated(self, schema):
+        expression = parse_set_expression(
+            'venue{"A"}.paper.author AS A '
+            "WHERE COUNT(A.paper) > 1 AND NOT COUNT(A.galaxy) > 1"
+        )
+        with pytest.raises(QuerySemanticError):
+            member_type_of(schema, expression)
+
+
+class TestValidateQuery:
+    def test_valid_query(self, schema):
+        validated = validate_query(
+            schema,
+            q(
+                'FIND OUTLIERS FROM author{"X"}.paper.author '
+                "JUDGED BY author.paper.venue TOP 10;"
+            ),
+        )
+        assert validated.member_type == "author"
+        assert validated.features[0].path == MetaPath.parse("author.paper.venue")
+
+    def test_feature_weights_preserved(self, schema):
+        validated = validate_query(
+            schema,
+            q(
+                'FIND OUTLIERS FROM author{"X"}.paper.author '
+                "JUDGED BY author.paper.venue: 2.0, author.paper.author TOP 10;"
+            ),
+        )
+        assert [f.weight for f in validated.features] == [2.0, 1.0]
+
+    def test_feature_must_start_at_member_type(self, schema):
+        with pytest.raises(QuerySemanticError, match="must start at"):
+            validate_query(
+                schema,
+                q(
+                    'FIND OUTLIERS FROM author{"X"}.paper.author '
+                    "JUDGED BY venue.paper.term TOP 10;"
+                ),
+            )
+
+    def test_feature_with_illegal_step(self, schema):
+        with pytest.raises(QuerySemanticError, match="feature meta-path"):
+            validate_query(
+                schema,
+                q(
+                    'FIND OUTLIERS FROM author{"X"}.paper.author '
+                    "JUDGED BY author.venue TOP 10;"
+                ),
+            )
+
+    def test_reference_member_type_must_match(self, schema):
+        with pytest.raises(QuerySemanticError, match="share a member type"):
+            validate_query(
+                schema,
+                q(
+                    'FIND OUTLIERS FROM author{"X"}.paper.author '
+                    'COMPARED TO venue{"KDD"}.paper '
+                    "JUDGED BY author.paper.venue TOP 10;"
+                ),
+            )
+
+    def test_reference_validated_too(self, schema):
+        with pytest.raises(QuerySemanticError):
+            validate_query(
+                schema,
+                q(
+                    'FIND OUTLIERS FROM author{"X"}.paper.author '
+                    'COMPARED TO galaxy{"KDD"}.paper.author '
+                    "JUDGED BY author.paper.venue TOP 10;"
+                ),
+            )
+
+    def test_table4_templates_validate(self, schema):
+        from repro.query.templates import QUERY_TEMPLATES
+
+        for template in QUERY_TEMPLATES:
+            validate_query(schema, template.parse("Some Author"))

@@ -1,0 +1,309 @@
+"""Tests for :mod:`repro.relational` (tables, database, HIN conversion)."""
+
+import pytest
+
+from repro.relational import (
+    Column,
+    ForeignKey,
+    RelationalDatabase,
+    Table,
+    database_to_hin,
+)
+from repro.relational.table import RelationalError
+
+
+# ----------------------------------------------------------------------
+# Shared example: customers -- orders -- products (with a junction).
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def shop():
+    db = RelationalDatabase()
+    customers = Table(
+        "customer",
+        [Column("id", int), Column("name"), Column("city")],
+        "id",
+    )
+    customers.insert_many(
+        [
+            {"id": 1, "name": "alice", "city": "Boston"},
+            {"id": 2, "name": "bob", "city": "Boston"},
+            {"id": 3, "name": "carol", "city": "Reno"},
+        ]
+    )
+    db.add_table(customers)
+
+    products = Table("product", [Column("id", int), Column("name")], "id")
+    products.insert_many(
+        [
+            {"id": 10, "name": "laptop"},
+            {"id": 11, "name": "keyboard"},
+            {"id": 12, "name": "tractor"},
+        ]
+    )
+    db.add_table(products)
+
+    orders = Table(
+        "purchase",
+        [
+            Column("id", int),
+            Column("customer_id", int),
+            Column("product_id", int),
+        ],
+        "id",
+        [
+            ForeignKey("customer_id", "customer", "id"),
+            ForeignKey("product_id", "product", "id"),
+        ],
+    )
+    orders.insert_many(
+        [
+            {"id": 100, "customer_id": 1, "product_id": 10},
+            {"id": 101, "customer_id": 1, "product_id": 11},
+            {"id": 102, "customer_id": 2, "product_id": 10},
+            {"id": 103, "customer_id": 2, "product_id": 11},
+            {"id": 104, "customer_id": 3, "product_id": 12},
+            {"id": 105, "customer_id": 3, "product_id": 12},
+        ]
+    )
+    db.add_table(orders)
+    return db
+
+
+class TestTable:
+    def test_insert_and_get(self):
+        table = Table("t", [Column("id", int), Column("x")], "id")
+        table.insert({"id": 1, "x": "a"})
+        assert table.get(1) == {"id": 1, "x": "a"}
+
+    def test_type_coercion(self):
+        table = Table("t", [Column("id", int), Column("score", float)], "id")
+        table.insert({"id": "5", "score": "2.5"})
+        assert table.get(5) == {"id": 5, "score": 2.5}
+
+    def test_coercion_failure(self):
+        table = Table("t", [Column("id", int)], "id")
+        with pytest.raises(RelationalError, match="coerce"):
+            table.insert({"id": "abc"})
+
+    def test_missing_columns_default_none(self):
+        table = Table("t", [Column("id", int), Column("x")], "id")
+        table.insert({"id": 1})
+        assert table.get(1)["x"] is None
+
+    def test_unknown_column_rejected(self):
+        table = Table("t", [Column("id", int)], "id")
+        with pytest.raises(RelationalError, match="unknown column"):
+            table.insert({"id": 1, "ghost": 2})
+
+    def test_duplicate_primary_key_rejected(self):
+        table = Table("t", [Column("id", int)], "id")
+        table.insert({"id": 1})
+        with pytest.raises(RelationalError, match="duplicate"):
+            table.insert({"id": 1})
+
+    def test_null_primary_key_rejected(self):
+        table = Table("t", [Column("id", int), Column("x")], "id")
+        with pytest.raises(RelationalError, match="null"):
+            table.insert({"x": "a"})
+
+    def test_distinct(self):
+        table = Table("t", [Column("id", int), Column("c")], "id")
+        table.insert_many(
+            [{"id": 1, "c": "a"}, {"id": 2, "c": "a"}, {"id": 3, "c": None}]
+        )
+        assert table.distinct("c") == {"a"}
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(RelationalError):
+            Table("has space", [Column("id", int)], "id")
+        with pytest.raises(RelationalError):
+            Column("has space")
+        with pytest.raises(RelationalError):
+            Column("x", dtype=list)
+
+    def test_primary_key_must_be_column(self):
+        with pytest.raises(RelationalError, match="primary key"):
+            Table("t", [Column("id", int)], "missing")
+
+    def test_from_csv(self):
+        table = Table.from_csv(
+            "t",
+            "id,city\n1,Boston\n2,\n",
+            "id",
+            dtypes={"id": int},
+        )
+        assert table.row_count == 2
+        assert table.get(2)["city"] is None
+
+    def test_from_csv_empty_rejected(self):
+        with pytest.raises(RelationalError, match="header"):
+            Table.from_csv("t", "", "id")
+
+
+class TestDatabase:
+    def test_fk_must_target_registered_table(self):
+        db = RelationalDatabase()
+        with pytest.raises(RelationalError, match="unknown"):
+            db.add_table(
+                Table(
+                    "order",
+                    [Column("id", int), Column("c", int)],
+                    "id",
+                    [ForeignKey("c", "customer", "id")],
+                )
+            )
+
+    def test_fk_must_target_primary_key(self):
+        db = RelationalDatabase()
+        db.add_table(Table("customer", [Column("id", int), Column("x")], "id"))
+        with pytest.raises(RelationalError, match="primary key"):
+            db.add_table(
+                Table(
+                    "order",
+                    [Column("id", int), Column("c", int)],
+                    "id",
+                    [ForeignKey("c", "customer", "x")],
+                )
+            )
+
+    def test_duplicate_table_rejected(self, shop):
+        with pytest.raises(RelationalError, match="duplicate table"):
+            shop.add_table(Table("customer", [Column("id", int)], "id"))
+
+    def test_integrity_passes(self, shop):
+        shop.check_integrity()
+
+    def test_integrity_catches_dangling_reference(self, shop):
+        shop.table("purchase").insert(
+            {"id": 999, "customer_id": 42, "product_id": 10}
+        )
+        with pytest.raises(RelationalError, match="missing"):
+            shop.check_integrity()
+
+    def test_null_fk_allowed(self, shop):
+        shop.table("purchase").insert({"id": 999, "customer_id": None, "product_id": 10})
+        shop.check_integrity()
+
+    def test_junction_detection(self, shop):
+        assert [t.name for t in shop.junction_tables()] == ["purchase"]
+
+    def test_non_junction_with_extra_columns(self):
+        db = RelationalDatabase()
+        db.add_table(Table("a", [Column("id", int)], "id"))
+        db.add_table(Table("b", [Column("id", int)], "id"))
+        bridging = Table(
+            "link",
+            [
+                Column("id", int),
+                Column("a_id", int),
+                Column("b_id", int),
+                Column("note"),
+            ],
+            "id",
+            [ForeignKey("a_id", "a", "id"), ForeignKey("b_id", "b", "id")],
+        )
+        db.add_table(bridging)
+        assert db.junction_tables() == []
+
+
+class TestConversion:
+    def test_tables_become_vertex_types(self, shop):
+        network = database_to_hin(shop, collapse_junction_tables=False)
+        for vertex_type in ("customer", "product", "purchase"):
+            assert network.schema.has_vertex_type(vertex_type)
+        assert network.num_vertices("customer") == 3
+        assert network.num_vertices("purchase") == 6
+
+    def test_foreign_keys_become_edges(self, shop):
+        network = database_to_hin(shop, collapse_junction_tables=False)
+        assert network.schema.has_edge_type("purchase", "customer")
+        assert network.schema.has_edge_type("customer", "purchase")
+
+    def test_junction_collapse(self, shop):
+        network = database_to_hin(shop, name_columns={"customer": "name"})
+        assert not network.schema.has_vertex_type("purchase")
+        assert network.schema.has_edge_type("customer", "product")
+        alice = network.find_vertex("customer", "alice")
+        # Alice purchased two distinct products once each.
+        assert network.degree(alice, "product") == 2.0
+
+    def test_junction_collapse_preserves_multiplicity(self, shop):
+        network = database_to_hin(shop, name_columns={"customer": "name"})
+        carol = network.find_vertex("customer", "carol")
+        # Carol bought the tractor twice -> edge count 2.
+        assert network.degree(carol, "product") == 2.0
+
+    def test_name_columns(self, shop):
+        network = database_to_hin(shop, name_columns={"customer": "name"})
+        assert network.has_vertex("customer", "alice")
+
+    def test_name_collision_disambiguated(self):
+        db = RelationalDatabase()
+        table = Table("user", [Column("id", int), Column("name")], "id")
+        table.insert_many([{"id": 1, "name": "sam"}, {"id": 2, "name": "sam"}])
+        db.add_table(table)
+        network = database_to_hin(db, name_columns={"user": "name"})
+        assert network.has_vertex("user", "sam")
+        assert network.has_vertex("user", "sam#2")
+
+    def test_expand_columns(self, shop):
+        network = database_to_hin(
+            shop,
+            name_columns={"customer": "name"},
+            expand_columns={"customer": ["city"]},
+        )
+        assert network.schema.has_vertex_type("city")
+        assert network.has_vertex("city", "Boston")
+        boston = network.find_vertex("city", "Boston")
+        assert network.degree(boston, "customer") == 2.0
+
+    def test_expanded_column_removed_from_attributes(self, shop):
+        network = database_to_hin(
+            shop,
+            name_columns={"customer": "name"},
+            expand_columns={"customer": ["city"]},
+        )
+        alice = network.vertex(network.find_vertex("customer", "alice"))
+        assert "city" not in alice.attributes
+
+    def test_attributes_carried(self, shop):
+        network = database_to_hin(shop, name_columns={"customer": "name"})
+        alice = network.vertex(network.find_vertex("customer", "alice"))
+        assert alice.attributes["city"] == "Boston"
+
+    def test_expand_unknown_column_rejected(self, shop):
+        with pytest.raises(RelationalError, match="unknown column"):
+            database_to_hin(shop, expand_columns={"customer": ["ghost"]})
+
+    def test_integrity_checked_by_default(self, shop):
+        shop.table("purchase").insert(
+            {"id": 999, "customer_id": 42, "product_id": 10}
+        )
+        with pytest.raises(RelationalError):
+            database_to_hin(shop)
+
+    def test_null_fk_produces_no_edge(self, shop):
+        shop.table("purchase").insert(
+            {"id": 999, "customer_id": None, "product_id": 12}
+        )
+        network = database_to_hin(shop, name_columns={"customer": "name"})
+        tractor = network.find_vertex("product", "12")
+        # Carol's 2 purchases + the orphan's 1 edge to... none (null FK on
+        # the customer side drops the whole junction edge).
+        assert network.degree(tractor, "customer") == 2.0
+
+    def test_outlier_query_on_converted_database(self, shop):
+        """The §8 end goal: run the outlier language on relational data."""
+        from repro.engine.detector import OutlierDetector
+
+        network = database_to_hin(
+            shop,
+            name_columns={"customer": "name", "product": "name"},
+            expand_columns={"customer": ["city"]},
+        )
+        detector = OutlierDetector(network)
+        result = detector.detect(
+            "FIND OUTLIERS FROM customer JUDGED BY customer.product TOP 1;"
+        )
+        # Carol buys tractors nobody else buys.
+        assert result.names() == ["carol"]

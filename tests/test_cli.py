@@ -1,0 +1,169 @@
+"""Tests for :mod:`repro.cli`."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def corpus_path(tmp_path_factory):
+    """A small generated corpus on disk, shared across CLI tests."""
+    path = tmp_path_factory.mktemp("cli") / "corpus.json"
+    out = io.StringIO()
+    code = main(
+        ["generate", "--preset", "ego", "--seed", "1", "--out", str(path)],
+        out=out,
+    )
+    assert code == 0
+    return str(path)
+
+
+QUERY = (
+    'FIND OUTLIERS FROM author{"Prof. Hub"}.paper.author '
+    "JUDGED BY author.paper.venue TOP 5;"
+)
+
+
+def run(argv, stdin_text=""):
+    out = io.StringIO()
+    code = main(argv, out=out, stdin=io.StringIO(stdin_text))
+    return code, out.getvalue()
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("preset", ["bibliographic", "ego", "security"])
+    def test_presets(self, tmp_path, preset):
+        path = tmp_path / f"{preset}.json"
+        code, output = run(
+            ["generate", "--preset", preset, "--seed", "0", "--out", str(path)]
+        )
+        assert code == 0
+        assert path.exists()
+        assert "wrote" in output
+
+
+class TestQuery:
+    def test_query_prints_ranking(self, corpus_path):
+        code, output = run(["query", "--network", corpus_path, QUERY])
+        assert code == 0
+        assert "Rank" in output
+        assert "CrossField" in output
+
+    def test_strategy_and_measure_flags(self, corpus_path):
+        code, output = run(
+            [
+                "query",
+                "--network", corpus_path,
+                "--strategy", "baseline",
+                "--measure", "pathsim",
+                QUERY,
+            ]
+        )
+        assert code == 0
+        assert "Student" in output
+
+    def test_distribution_flag(self, corpus_path):
+        code, output = run(
+            ["query", "--network", corpus_path, "--distribution", QUERY]
+        )
+        assert code == 0
+        assert "Ω distribution" in output
+
+    def test_stats_flag(self, corpus_path):
+        code, output = run(["query", "--network", corpus_path, "--stats", QUERY])
+        assert code == 0
+        assert "wall time" in output
+        assert "outlierness_calculation" in output
+
+    def test_missing_network_file(self):
+        code, output = run(["query", "--network", "/nope.json", QUERY])
+        assert code == 1
+        assert "not found" in output
+
+    def test_bad_query_reports_error(self, corpus_path):
+        code, output = run(["query", "--network", corpus_path, "FIND nonsense"])
+        assert code == 1
+        assert "error" in output
+
+
+class TestExplainSuggestSchema:
+    def test_explain(self, corpus_path):
+        code, output = run(["explain", "--network", corpus_path, QUERY])
+        assert code == 0
+        assert "strategy        : pm" in output
+        assert "author.paper.venue" in output
+
+    def test_suggest(self, corpus_path):
+        code, output = run(
+            ["suggest", "--network", corpus_path, "--max-suggestions", "2", QUERY]
+        )
+        assert code == 0
+        assert "interestingness" in output
+
+    def test_schema(self, corpus_path):
+        code, output = run(["schema", "--network", corpus_path])
+        assert code == 0
+        assert "author" in output
+        assert "paper -- venue" in output or "venue -- paper" in output
+
+    def test_stats(self, corpus_path):
+        code, output = run(["stats", "--network", corpus_path])
+        assert code == 0
+        assert "vertex types:" in output
+        assert "gini" in output
+        assert "author" in output
+
+
+class TestShell:
+    def test_query_and_quit(self, corpus_path):
+        script = QUERY + "\n.quit\n"
+        code, output = run(["shell", "--network", corpus_path], script)
+        assert code == 0
+        assert "Rank" in output
+
+    def test_multiline_query(self, corpus_path):
+        script = (
+            'FIND OUTLIERS FROM author{"Prof. Hub"}.paper.author\n'
+            "JUDGED BY author.paper.venue\n"
+            "TOP 3;\n"
+            ".quit\n"
+        )
+        code, output = run(["shell", "--network", corpus_path], script)
+        assert code == 0
+        assert "Rank" in output
+
+    def test_dot_commands(self, corpus_path):
+        script = (
+            ".help\n"
+            ".schema\n"
+            ".strategy baseline\n"
+            ".measure cossim\n"
+            ".unknown\n"
+            ".quit\n"
+        )
+        code, output = run(["shell", "--network", corpus_path], script)
+        assert code == 0
+        assert "dot-command" in output
+        assert "strategy = baseline" in output
+        assert "measure = cossim" in output
+        assert "unknown command" in output
+
+    def test_explain_and_suggest_commands(self, corpus_path):
+        script = f".explain {QUERY}\n.suggest {QUERY}\n.quit\n"
+        code, output = run(["shell", "--network", corpus_path], script)
+        assert code == 0
+        assert "candidate set" in output
+        assert "interestingness" in output
+
+    def test_error_recovery(self, corpus_path):
+        script = "FIND gibberish;\n" + QUERY + "\n.quit\n"
+        code, output = run(["shell", "--network", corpus_path], script)
+        assert code == 0
+        assert "error:" in output
+        assert "Rank" in output
+
+    def test_eof_terminates(self, corpus_path):
+        code, __ = run(["shell", "--network", corpus_path], "")
+        assert code == 0

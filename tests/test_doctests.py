@@ -1,0 +1,45 @@
+"""Run every docstring example in the library as a doctest.
+
+Keeps the documentation honest: if an API changes, its usage examples in
+the docstrings fail here rather than rotting silently.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _module_names():
+    names = []
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if module_info.name.endswith("__main__"):
+            continue
+        names.append(module_info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _module_names())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+        verbose=False,
+    )
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module_name}"
+    )
+
+
+def test_doctests_exist_somewhere():
+    """Guard against the suite silently running zero examples."""
+    total = 0
+    for module_name in _module_names():
+        module = importlib.import_module(module_name)
+        finder = doctest.DocTestFinder()
+        total += sum(len(t.examples) for t in finder.find(module))
+    assert total >= 10

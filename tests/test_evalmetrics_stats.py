@@ -1,0 +1,131 @@
+"""Tests for :mod:`repro.evalmetrics` and :mod:`repro.hin.stats`."""
+
+import numpy as np
+import pytest
+
+from repro.evalmetrics import (
+    average_precision,
+    precision_at_k,
+    rank_of,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.exceptions import MeasureError
+from repro.hin.stats import network_summary
+
+
+RANKED = ["a", "b", "c", "d", "e"]
+
+
+class TestPrecisionRecall:
+    def test_precision_at_k(self):
+        assert precision_at_k(RANKED, {"a", "c"}, 2) == 0.5
+        assert precision_at_k(RANKED, {"a", "c"}, 3) == pytest.approx(2 / 3)
+
+    def test_precision_denominator_is_k(self):
+        assert precision_at_k(["a"], {"a"}, 5) == 0.2
+
+    def test_recall_at_k(self):
+        assert recall_at_k(RANKED, {"a", "e"}, 2) == 0.5
+        assert recall_at_k(RANKED, {"a", "e"}, 5) == 1.0
+
+    def test_recall_empty_relevant(self):
+        assert recall_at_k(RANKED, set(), 3) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(MeasureError):
+            precision_at_k(RANKED, {"a"}, 0)
+        with pytest.raises(MeasureError):
+            recall_at_k(RANKED, {"a"}, -1)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(RANKED, {"a", "b"}) == 1.0
+
+    def test_worst_ranking(self):
+        assert average_precision(RANKED, {"e"}) == pytest.approx(0.2)
+
+    def test_mixed(self):
+        # relevant at ranks 1 and 3: (1/1 + 2/3) / 2.
+        assert average_precision(RANKED, {"a", "c"}) == pytest.approx(
+            (1.0 + 2 / 3) / 2
+        )
+
+    def test_missing_relevant_counts_as_miss(self):
+        assert average_precision(RANKED, {"a", "zz"}) == pytest.approx(0.5)
+
+    def test_empty_relevant(self):
+        assert average_precision(RANKED, set()) == 0.0
+
+
+class TestReciprocalRankAndRankOf:
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(RANKED, {"c"}) == pytest.approx(1 / 3)
+        assert reciprocal_rank(RANKED, {"zz"}) == 0.0
+
+    def test_rank_of(self):
+        assert rank_of("b", RANKED) == 2
+        assert rank_of("zz", RANKED) is None
+
+
+class TestNetworkSummary:
+    def test_vertex_counts(self, figure1):
+        summary = network_summary(figure1)
+        assert summary.vertex_counts["author"] == 3
+        assert summary.vertex_counts["paper"] == 5
+
+    def test_edge_types_reported_once(self, figure1):
+        summary = network_summary(figure1)
+        pairs = [(s.source, s.target) for s in summary.edge_stats]
+        assert len(pairs) == len({frozenset(p) for p in pairs})
+
+    def test_edge_totals(self, figure1):
+        summary = network_summary(figure1)
+        total = sum(s.edges for s in summary.edge_stats)
+        assert total == figure1.num_edges()
+
+    def test_degree_statistics(self, figure2):
+        summary = network_summary(figure2)
+        author_paper = next(
+            s
+            for s in summary.edge_stats
+            if {s.source, s.target} == {"author", "paper"}
+        )
+        # Jim has 12 papers, Mary 6.
+        assert author_paper.max_degree == 12.0
+        assert author_paper.mean_degree == 9.0
+        assert 0 <= author_paper.degree_gini < 1
+
+    def test_gini_zero_for_uniform(self):
+        from repro.hin.stats import _gini
+
+        assert _gini(np.array([5.0, 5.0, 5.0])) == pytest.approx(0.0)
+
+    def test_gini_high_for_concentrated(self):
+        from repro.hin.stats import _gini
+
+        values = np.array([0.0] * 99 + [100.0])
+        assert _gini(values) > 0.9
+
+    def test_gini_empty_and_zero(self):
+        from repro.hin.stats import _gini
+
+        assert _gini(np.array([])) == 0.0
+        assert _gini(np.zeros(5)) == 0.0
+
+    def test_describe_renders(self, figure1):
+        text = network_summary(figure1).describe()
+        assert "vertex types:" in text
+        assert "author" in text
+        assert "gini" in text
+
+    def test_synthetic_corpus_is_skewed(self, small_corpus):
+        """The Zipf generator must actually produce skewed degrees."""
+        summary = network_summary(small_corpus)
+        author_paper = next(
+            s
+            for s in summary.edge_stats
+            if {s.source, s.target} == {"author", "paper"}
+        )
+        assert author_paper.degree_gini > 0.3

@@ -1,0 +1,83 @@
+"""Tests for :mod:`repro.report` (HTML report generation)."""
+
+import pytest
+
+from repro.engine.executor import QueryExecutor
+from repro.engine.strategies import BaselineStrategy
+from repro.report import render_html_report, write_html_report
+
+SINGLE_QUERY = (
+    'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+    "JUDGED BY author.paper.venue TOP 3;"
+)
+MULTI_QUERY = (
+    'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+    "JUDGED BY author.paper.venue, author.paper.author TOP 3;"
+)
+
+
+@pytest.fixture()
+def result(figure1):
+    return QueryExecutor(BaselineStrategy(figure1)).execute(SINGLE_QUERY)
+
+
+class TestRenderHtml:
+    def test_is_standalone_document(self, result):
+        document = render_html_report(result)
+        assert document.startswith("<!DOCTYPE html>")
+        assert "</html>" in document
+        assert "<script" not in document  # no external/active content
+
+    def test_contains_all_outliers(self, result):
+        document = render_html_report(result)
+        for entry in result.outliers:
+            assert entry.name in document
+
+    def test_query_text_included_and_escaped(self, result):
+        document = render_html_report(
+            result, query_text='FIND OUTLIERS FROM author{"<Zoe>"}...'
+        )
+        assert "&lt;Zoe&gt;" in document
+        assert "<Zoe>" not in document
+
+    def test_names_escaped(self, figure1):
+        evil = figure1.add_vertex("author", "<script>alert(1)</script>")
+        paper = figure1.find_vertex("paper", "p1")
+        figure1.add_edge(paper, evil)
+        result = QueryExecutor(BaselineStrategy(figure1)).execute(
+            'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+            "JUDGED BY author.paper.venue TOP 10;"
+        )
+        document = render_html_report(result)
+        assert "<script>alert(1)</script>" not in document
+
+    def test_metadata_line(self, result):
+        document = render_html_report(result)
+        assert "netout" in document
+        assert f"{result.candidate_count} \ncandidates".replace("\n", "") in (
+            document.replace("\n", "")
+        )
+
+    def test_histogram_present(self, result):
+        document = render_html_report(result)
+        assert 'class="hist"' in document
+        assert "red bins" in document
+
+    def test_feature_breakdown_columns(self, figure1):
+        result = QueryExecutor(BaselineStrategy(figure1)).execute(MULTI_QUERY)
+        document = render_html_report(result)
+        assert "Ω(author.paper.venue)" in document
+        assert "Ω(author.paper.author)" in document
+
+    def test_custom_title(self, result):
+        document = render_html_report(result, title="Coauthor audit")
+        assert "<title>Coauthor audit</title>" in document
+
+
+class TestWriteHtml:
+    def test_writes_file(self, result, tmp_path):
+        path = tmp_path / "report.html"
+        write_html_report(result, path, query_text=SINGLE_QUERY)
+        text = path.read_text(encoding="utf-8")
+        assert text.startswith("<!DOCTYPE html>")
+        assert "JUDGED BY" in text
