@@ -25,6 +25,9 @@ paper-to-module map.
 """
 
 from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    DegradedResultWarning,
     ExecutionError,
     MeasureError,
     MetaPathError,
@@ -33,7 +36,9 @@ from repro.exceptions import (
     QuerySemanticError,
     QuerySyntaxError,
     ReproError,
+    ResourceLimitError,
     SchemaError,
+    TransientFaultError,
     VertexNotFoundError,
 )
 from repro.hin import (
@@ -77,6 +82,8 @@ from repro.evalmetrics import (
 from repro.hin.stats import network_summary
 from repro.engine import (
     BaselineStrategy,
+    Deadline,
+    FallbackStrategy,
     ProgressiveQueryExecutor,
     QueryAdvisor,
     ExecutionStats,
@@ -84,6 +91,7 @@ from repro.engine import (
     OutlierDetector,
     PMStrategy,
     QueryExecutor,
+    ResiliencePolicy,
     SPMStrategy,
     WorkloadAnalyzer,
     build_pm_index,
@@ -152,6 +160,15 @@ __all__ = [
     "explain",
     "ProgressiveQueryExecutor",
     "QueryAdvisor",
+    # Resilience
+    "ResiliencePolicy",
+    "Deadline",
+    "FallbackStrategy",
+    "DeadlineExceededError",
+    "ResourceLimitError",
+    "CircuitOpenError",
+    "TransientFaultError",
+    "DegradedResultWarning",
     # Evaluation & statistics
     "precision_at_k",
     "recall_at_k",

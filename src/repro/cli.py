@@ -64,8 +64,27 @@ def build_parser() -> argparse.ArgumentParser:
             "--measure", default="netout", help="outlierness measure name"
         )
 
+    def add_resilience_flags(sub):
+        sub.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-query time budget; on overrun the query degrades "
+            "(partial result) or fails fast instead of running forever",
+        )
+        sub.add_argument(
+            "--max-memory-mb",
+            type=float,
+            default=None,
+            metavar="MB",
+            help="refuse index builds whose estimated size exceeds this "
+            "budget, degrading to a cheaper strategy instead",
+        )
+
     query = commands.add_parser("query", help="run one outlier query")
     add_network_and_query(query)
+    add_resilience_flags(query)
     query.add_argument(
         "--distribution",
         action="store_true",
@@ -109,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated strategies to compare",
     )
     workload.add_argument("--measure", default="netout")
+    add_resilience_flags(workload)
 
     explain = commands.add_parser("explain", help="show a query's execution plan")
     add_network_and_query(explain)
@@ -142,6 +162,17 @@ def _load_network(path: str) -> HeterogeneousInformationNetwork:
     return load_json(path)
 
 
+def _resilience_policy(args):
+    """A policy from ``--timeout`` / ``--max-memory-mb``, or ``None``."""
+    timeout = getattr(args, "timeout", None)
+    max_memory_mb = getattr(args, "max_memory_mb", None)
+    if timeout is None and max_memory_mb is None:
+        return None
+    from repro.engine.resilience import ResiliencePolicy
+
+    return ResiliencePolicy(timeout_seconds=timeout, max_memory_mb=max_memory_mb)
+
+
 def _command_generate(args, out) -> int:
     if args.preset == "bibliographic":
         network = BibliographicNetworkGenerator(seed=args.seed).build_network()
@@ -157,9 +188,24 @@ def _command_generate(args, out) -> int:
 
 
 def _command_query(args, out) -> int:
+    import warnings
+
+    from repro.exceptions import DegradedResultWarning
+
     network = _load_network(args.network)
-    detector = OutlierDetector(network, strategy=args.strategy, measure=args.measure)
-    result = detector.detect(args.query)
+    detector = OutlierDetector(
+        network,
+        strategy=args.strategy,
+        measure=args.measure,
+        resilience=_resilience_policy(args),
+    )
+    with warnings.catch_warnings():
+        # The degraded flag is reported explicitly below; the warning would
+        # only duplicate it on stderr.
+        warnings.simplefilter("ignore", DegradedResultWarning)
+        result = detector.detect(args.query)
+    if result.degraded:
+        print(f"note: degraded result ({result.degradation_reason})", file=out)
     output_format = getattr(args, "format", "table")
     out_path = getattr(args, "out", None)
     if output_format == "html":
@@ -230,14 +276,20 @@ def _command_workload(args, out) -> int:
         f"{source}, {len(queries)} queries, measure {args.measure}",
         file=out,
     )
+    policy = _resilience_policy(args)
     for strategy_name in strategies:
         kwargs = {}
         if strategy_name == "spm":
             kwargs = {"spm_workload": queries, "spm_threshold": 0.01}
         detector = OutlierDetector(
-            network, strategy=strategy_name, measure=args.measure, **kwargs
+            network,
+            strategy=strategy_name,
+            measure=args.measure,
+            resilience=policy,
+            **kwargs,
         )
-        results, stats = detector.detect_many(queries, skip_failures=True)
+        batch = detector.detect_many(queries, skip_failures=True)
+        results, stats = batch
         report = LatencyReport.from_results(results)
         print(f"{strategy_name:>9}  {report.describe()}", file=out)
         print(
@@ -245,6 +297,13 @@ def _command_workload(args, out) -> int:
             f"index={detector.index_size_bytes() / 1e6:.2f}MB",
             file=out,
         )
+        if batch.errors:
+            print(
+                f"{'':>9}  {len(batch.errors)} of {len(queries)} queries "
+                "failed (first: "
+                f"{next(iter(batch.errors.values()))})",
+                file=out,
+            )
     return 0
 
 

@@ -61,6 +61,15 @@ class OutlierResult:
     #: populated for multi-feature queries so users can see *which* aspect
     #: made a candidate an outlier.  ``None`` for single-feature queries.
     feature_scores: dict[str, dict[VertexId, float]] | None = None
+    #: True when the result was produced on a degraded path: a fallback
+    #: materialization rung (PM → SPM → on-the-fly), or a partial scoring
+    #: pass cut short by the query deadline.  The ranking is still valid —
+    #: it was just computed more cheaply (or from fewer feature meta-paths)
+    #: than requested.
+    degraded: bool = False
+    #: Human-readable explanation of *why* the result is degraded
+    #: (``None`` when ``degraded`` is false).
+    degradation_reason: str | None = None
 
     def __iter__(self) -> Iterator[ScoredVertex]:
         return iter(self.outliers)
@@ -91,14 +100,16 @@ class OutlierResult:
 
     def to_json(self) -> str:
         """The full result (ranking + metadata) as a JSON document."""
-        return json.dumps(
-            {
-                "measure": self.measure,
-                "candidate_count": self.candidate_count,
-                "reference_count": self.reference_count,
-                "outliers": self.to_records(),
-            }
-        )
+        payload = {
+            "measure": self.measure,
+            "candidate_count": self.candidate_count,
+            "reference_count": self.reference_count,
+            "outliers": self.to_records(),
+        }
+        if self.degraded:
+            payload["degraded"] = True
+            payload["degradation_reason"] = self.degradation_reason
+        return json.dumps(payload)
 
     def to_csv(self, handle) -> int:
         """Write the ranking as CSV to an open text handle; returns rows written."""
@@ -150,6 +161,8 @@ class OutlierResult:
         measure: str = "netout",
         stats: "ExecutionStats | None" = None,
         feature_scores: "dict[str, dict[VertexId, float]] | None" = None,
+        degraded: bool = False,
+        degradation_reason: str | None = None,
     ) -> "OutlierResult":
         """Rank ``scores`` ascending and keep the ``top_k`` head.
 
@@ -170,4 +183,6 @@ class OutlierResult:
             measure=measure,
             stats=stats,
             feature_scores=feature_scores,
+            degraded=degraded,
+            degradation_reason=degradation_reason,
         )

@@ -33,7 +33,21 @@ from repro.engine.strategies import (
     make_strategy,
 )
 from repro.engine.evaluator import SetEvaluator
-from repro.engine.executor import QueryExecutor
+from repro.engine.executor import BatchExecution, QueryExecutor
+from repro.engine.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DEGRADATION_LADDER,
+    FallbackStrategy,
+    ResiliencePolicy,
+    ResourceGuard,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+    estimate_pm_index_bytes,
+    estimate_spm_index_bytes,
+    retry_with_backoff,
+)
 from repro.engine.optimizer import WorkloadAnalyzer, select_frequent_vertices
 from repro.engine.plan import QueryPlan, explain
 from repro.engine.advisor import QueryAdvisor, Suggestion, interestingness
@@ -58,6 +72,19 @@ __all__ = [
     "make_strategy",
     "SetEvaluator",
     "QueryExecutor",
+    "BatchExecution",
+    "Deadline",
+    "deadline_scope",
+    "current_deadline",
+    "check_deadline",
+    "retry_with_backoff",
+    "CircuitBreaker",
+    "ResourceGuard",
+    "ResiliencePolicy",
+    "FallbackStrategy",
+    "DEGRADATION_LADDER",
+    "estimate_pm_index_bytes",
+    "estimate_spm_index_bytes",
     "WorkloadAnalyzer",
     "select_frequent_vertices",
     "QueryPlan",

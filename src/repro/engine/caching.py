@@ -18,8 +18,9 @@ from collections import OrderedDict
 
 from scipy import sparse
 
+from repro import faultinject
 from repro.engine.strategies import MaterializationStrategy
-from repro.exceptions import ExecutionError
+from repro.exceptions import ExecutionError, TransientFaultError
 from repro.metapath.metapath import MetaPath
 from repro.utils.sparsetools import sparse_row_bytes
 
@@ -53,6 +54,8 @@ class CachingStrategy(MaterializationStrategy):
         self._cached_version = inner.network.version
         self.hits = 0
         self.misses = 0
+        #: Cache reads dropped due to (injected or real) transient faults.
+        self.faulted_reads = 0
 
     # ------------------------------------------------------------------
     # MaterializationStrategy interface
@@ -66,9 +69,18 @@ class CachingStrategy(MaterializationStrategy):
         key = (path, vertex_index)
         cached = self._rows.get(key)
         if cached is not None:
-            self._rows.move_to_end(key)
-            self.hits += 1
-            return cached
+            try:
+                faultinject.check("cache_read")
+            except TransientFaultError:
+                # A failed cache read is self-healing: drop the suspect row
+                # and recompute from the inner strategy (a miss, not an
+                # error) — a cache must never make a query fail.
+                self._rows.pop(key, None)
+                self.faulted_reads += 1
+            else:
+                self._rows.move_to_end(key)
+                self.hits += 1
+                return cached
         row = self.inner.neighbor_row(path, vertex_index, stats)
         self.misses += 1
         self._rows[key] = row
@@ -101,3 +113,4 @@ class CachingStrategy(MaterializationStrategy):
         self._rows.clear()
         self.hits = 0
         self.misses = 0
+        self.faulted_reads = 0

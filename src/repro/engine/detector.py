@@ -18,18 +18,22 @@ Examples
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.measures import Measure
 from repro.core.results import OutlierResult
-from repro.engine.executor import QueryExecutor
+from repro.engine.executor import BatchExecution, QueryExecutor
 from repro.engine.index import MetaPathIndex
 from repro.engine.optimizer import WorkloadAnalyzer
 from repro.engine.plan import QueryPlan, explain
 from repro.engine.stats import ExecutionStats
 from repro.engine.strategies import MaterializationStrategy, make_strategy
+from repro.exceptions import ExecutionError
 from repro.hin.network import HeterogeneousInformationNetwork, VertexId
 from repro.query.ast import Query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.resilience import ResiliencePolicy
 
 __all__ = ["OutlierDetector"]
 
@@ -60,6 +64,14 @@ class OutlierDetector:
         :class:`~repro.engine.executor.QueryExecutor`.
     collect_stats:
         Attach per-phase execution statistics to every result.
+    resilience:
+        Optional :class:`~repro.engine.resilience.ResiliencePolicy`.  When
+        set (and ``strategy`` is a name, not a pre-built instance), the
+        detector executes through the degradation ladder — the requested
+        rung falling back toward on-the-fly counting on index-build or
+        lookup failure — under the policy's per-query deadline, memory
+        guardrails, retry, and circuit-breaker settings.  Degraded answers
+        come back flagged ``degraded=True`` rather than failing.
     """
 
     def __init__(
@@ -73,6 +85,7 @@ class OutlierDetector:
         spm_threshold: float = 0.01,
         combine: str = "score",
         collect_stats: bool = True,
+        resilience: "ResiliencePolicy | None" = None,
     ) -> None:
         self.network = network
         if isinstance(strategy, MaterializationStrategy):
@@ -83,11 +96,35 @@ class OutlierDetector:
                 analyzer = WorkloadAnalyzer(network)
                 analyzer.analyze_many(spm_workload)
                 selected = analyzer.frequent_vertices(spm_threshold)
-            self.strategy = make_strategy(
-                network, strategy, index=index, selected=selected
-            )
+            if resilience is not None and resilience.allow_degraded and index is None:
+                from repro.engine.resilience import (
+                    DEGRADATION_LADDER,
+                    FallbackStrategy,
+                )
+
+                requested = strategy.lower()
+                if requested not in DEGRADATION_LADDER:
+                    raise ExecutionError(
+                        f"unknown strategy {strategy!r}; expected one of "
+                        f"{DEGRADATION_LADDER}"
+                    )
+                ladder = DEGRADATION_LADDER[DEGRADATION_LADDER.index(requested):]
+                self.strategy = FallbackStrategy(
+                    network,
+                    ladder=ladder,
+                    policy=resilience,
+                    spm_selected=selected,
+                )
+            else:
+                self.strategy = make_strategy(
+                    network, strategy, index=index, selected=selected
+                )
         self._executor = QueryExecutor(
-            self.strategy, measure, combine=combine, collect_stats=collect_stats
+            self.strategy,
+            measure,
+            combine=combine,
+            collect_stats=collect_stats,
+            resilience=resilience,
         )
 
     @property
@@ -218,8 +255,13 @@ class OutlierDetector:
 
     def detect_many(
         self, queries: Sequence[str | Query], *, skip_failures: bool = False
-    ) -> tuple[list[OutlierResult], ExecutionStats]:
-        """Execute a query set; see :meth:`QueryExecutor.execute_many`."""
+    ) -> "BatchExecution":
+        """Execute a query set; see :meth:`QueryExecutor.execute_many`.
+
+        Returns a :class:`~repro.engine.executor.BatchExecution` — unpacks
+        as ``(results, stats)`` and carries per-query ``errors`` keyed by
+        query index.
+        """
         return self._executor.execute_many(list(queries), skip_failures=skip_failures)
 
     def explain(self, query: str | Query) -> QueryPlan:

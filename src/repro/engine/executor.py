@@ -10,23 +10,61 @@ weighted average.
 from __future__ import annotations
 
 import time
+import warnings
+from typing import TYPE_CHECKING
 
 import numpy as np
 from scipy import sparse
 
 from repro.core.measures import Measure, get_measure
 from repro.core.results import OutlierResult
+from repro.engine.deadline import Deadline, check_deadline, deadline_scope
 from repro.engine.evaluator import SetEvaluator
 from repro.engine.stats import PHASE_SCORING, ExecutionStats
 from repro.engine.strategies import MaterializationStrategy
-from repro.exceptions import ExecutionError, VertexNotFoundError
+from repro.exceptions import (
+    DeadlineExceededError,
+    DegradedResultWarning,
+    ExecutionError,
+    QueryError,
+    ReproError,
+)
 from repro.hin.network import VertexId
 from repro.metapath.metapath import WeightedMetaPath
 from repro.query.ast import Query
 from repro.query.parser import parse_query
 from repro.query.semantics import ValidatedQuery, validate_query
 
-__all__ = ["QueryExecutor"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine.resilience import ResiliencePolicy
+
+__all__ = ["QueryExecutor", "BatchExecution"]
+
+
+class BatchExecution(tuple):
+    """Outcome of :meth:`QueryExecutor.execute_many`.
+
+    A 2-tuple ``(results, stats)`` — so existing ``results, stats = ...``
+    unpacking keeps working — extended with ``errors``: per-query execution
+    failures keyed by the query's index in the input list, so one bad query
+    no longer aborts (or silently vanishes from) a batch.
+    """
+
+    results: "list[OutlierResult]"
+    stats: ExecutionStats
+    errors: "dict[int, ReproError]"
+
+    def __new__(
+        cls,
+        results: list[OutlierResult],
+        stats: ExecutionStats,
+        errors: dict[int, ReproError],
+    ) -> "BatchExecution":
+        self = super().__new__(cls, (results, stats))
+        self.results = results
+        self.stats = stats
+        self.errors = errors
+        return self
 
 
 class QueryExecutor:
@@ -51,6 +89,12 @@ class QueryExecutor:
     collect_stats:
         When true (default) each result carries per-phase
         :class:`~repro.engine.stats.ExecutionStats`.
+    resilience:
+        Optional :class:`~repro.engine.resilience.ResiliencePolicy`.  When
+        set, every query runs under the policy's deadline, and an expired
+        deadline mid-scoring may yield a *partial* result (fewer feature
+        meta-paths than requested, ``degraded=True``) instead of raising,
+        if the policy allows it.
 
     Examples
     --------
@@ -73,6 +117,7 @@ class QueryExecutor:
         *,
         combine: str = "score",
         collect_stats: bool = True,
+        resilience: "ResiliencePolicy | None" = None,
     ) -> None:
         self.strategy = strategy
         self.network = strategy.network
@@ -84,29 +129,50 @@ class QueryExecutor:
             )
         self.combine = combine
         self.collect_stats = collect_stats
+        self.resilience = resilience
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def execute(self, query: str | Query) -> OutlierResult:
-        """Run ``query`` (text or AST) and return the ranked result."""
+    def execute(
+        self, query: str | Query, *, deadline: Deadline | None = None
+    ) -> OutlierResult:
+        """Run ``query`` (text or AST) and return the ranked result.
+
+        Parameters
+        ----------
+        deadline:
+            Optional explicit per-call deadline; defaults to a fresh one
+            from the executor's resilience policy (when configured).  The
+            deadline is enforced cooperatively inside materialization and
+            scoring loops and raises
+            :class:`~repro.exceptions.DeadlineExceededError` on overrun —
+            unless the policy allows partial results and at least one
+            feature meta-path was already scored, in which case the partial
+            ranking is returned with ``degraded=True``.
+        """
         started = time.perf_counter()
         ast = parse_query(query) if isinstance(query, str) else query
         validated = validate_query(self.network.schema, ast)
         stats = ExecutionStats() if self.collect_stats else None
+        if deadline is None and self.resilience is not None:
+            deadline = self.resilience.deadline()
 
-        evaluator = SetEvaluator(self.strategy, stats)
-        member_type, candidates = evaluator.evaluate(ast.candidates)
-        if ast.reference is not None:
-            _, reference = evaluator.evaluate(ast.reference)
-        else:
-            reference = list(candidates)
-        if not candidates:
-            raise ExecutionError("the candidate set is empty")
-        if not reference:
-            raise ExecutionError("the reference set is empty")
+        with deadline_scope(deadline):
+            evaluator = SetEvaluator(self.strategy, stats)
+            member_type, candidates = evaluator.evaluate(ast.candidates)
+            if ast.reference is not None:
+                _, reference = evaluator.evaluate(ast.reference)
+            else:
+                reference = list(candidates)
+            if not candidates:
+                raise ExecutionError("the candidate set is empty")
+            if not reference:
+                raise ExecutionError("the reference set is empty")
 
-        scores, per_feature = self._score(validated, candidates, reference, stats)
+            scores, per_feature, partial_reason = self._score(
+                validated, candidates, reference, stats
+            )
 
         names = self.network.vertex_names(member_type)
         vertex_ids = [VertexId(member_type, index) for index in candidates]
@@ -125,6 +191,12 @@ class QueryExecutor:
             }
         if stats is not None:
             stats.wall_seconds = time.perf_counter() - started
+        degradation_reason = self._degradation_reason(partial_reason)
+        if degradation_reason is not None:
+            warnings.warn(
+                DegradedResultWarning(f"degraded result: {degradation_reason}"),
+                stacklevel=2,
+            )
         return OutlierResult.from_scores(
             score_map,
             name_map,
@@ -133,7 +205,19 @@ class QueryExecutor:
             measure=self.measure.name,
             stats=stats,
             feature_scores=feature_scores,
+            degraded=degradation_reason is not None,
+            degradation_reason=degradation_reason,
         )
+
+    def _degradation_reason(self, partial_reason: str | None) -> str | None:
+        """Combine strategy-ladder demotions and partial scoring into one reason."""
+        parts = []
+        strategy_reason = getattr(self.strategy, "degradation_reason", None)
+        if getattr(self.strategy, "degraded", False) and strategy_reason:
+            parts.append(strategy_reason)
+        if partial_reason is not None:
+            parts.append(partial_reason)
+        return "; ".join(parts) if parts else None
 
     # ------------------------------------------------------------------
     # Scoring
@@ -144,24 +228,49 @@ class QueryExecutor:
         candidates: list[int],
         reference: list[int],
         stats: ExecutionStats | None,
-    ) -> tuple[np.ndarray, dict[str, np.ndarray] | None]:
+    ) -> tuple[np.ndarray, dict[str, np.ndarray] | None, str | None]:
         """Combine Ω across the query's feature meta-paths (see ``combine``).
 
-        Returns the combined scores and, for multi-feature score/rank
-        queries, the per-path raw Ω vectors (the explanation payload).
+        Returns the combined scores; for multi-feature score/rank queries,
+        the per-path raw Ω vectors (the explanation payload); and a
+        partial-result reason when the deadline expired after some — but
+        not all — feature meta-paths were scored (``None`` otherwise).
         """
-        if self.combine == "connectivity" and len(validated.features) > 1:
+        features = validated.features
+        if self.combine == "connectivity" and len(features) > 1:
             combined = self._score_combined_connectivity(
                 validated, candidates, reference, stats
             )
-            return combined, None
-        total_weight = sum(feature.weight for feature in validated.features)
+            return combined, None, None
+
+        allow_partial = (
+            self.resilience.allow_partial if self.resilience is not None else False
+        )
+        scored: list[tuple[WeightedMetaPath, np.ndarray]] = []
+        partial_reason: str | None = None
+        for feature in features:
+            try:
+                check_deadline("feature scoring")
+                scores = self._score_single_path(feature, candidates, reference, stats)
+            except DeadlineExceededError as error:
+                # The ladder handles *strategy* failures; the deadline is
+                # different — scoring stops, but feature meta-paths already
+                # scored still form a valid (partial) ranking.
+                if allow_partial and scored:
+                    partial_reason = (
+                        f"deadline expired after {len(scored)} of "
+                        f"{len(features)} feature meta-paths ({error})"
+                    )
+                    break
+                raise
+            scored.append((feature, scores))
+
+        total_weight = sum(feature.weight for feature, _ in scored)
         combined = np.zeros(len(candidates), dtype=float)
         per_feature: dict[str, np.ndarray] = {}
-        for feature in validated.features:
-            scores = self._score_single_path(feature, candidates, reference, stats)
+        for feature, scores in scored:
             per_feature[str(feature.path)] = scores
-            if self.combine == "rank" and len(validated.features) > 1:
+            if self.combine == "rank" and len(scored) > 1:
                 # Average of per-path ranks: 1 = most outlying.  Ties get
                 # the same (minimum) rank via double argsort on (score, idx).
                 order = np.lexsort((np.arange(len(scores)), scores))
@@ -170,9 +279,9 @@ class QueryExecutor:
                 combined += (feature.weight / total_weight) * ranks
             else:
                 combined += (feature.weight / total_weight) * scores
-        if len(validated.features) < 2:
-            return combined, None
-        return combined, per_feature
+        if len(scored) < 2:
+            return combined, None, partial_reason
+        return combined, per_feature, partial_reason
 
     def _score_combined_connectivity(
         self,
@@ -234,28 +343,41 @@ class QueryExecutor:
         queries: list[str | Query],
         *,
         skip_failures: bool = False,
-    ) -> tuple[list[OutlierResult], ExecutionStats]:
-        """Execute a query set and return results plus aggregated stats.
+    ) -> BatchExecution:
+        """Execute a query set and return results, aggregated stats, errors.
+
+        One failing query never aborts the batch: execution-time failures —
+        empty candidate sets, anchors that no longer exist (dead query-log
+        entries), expired deadlines — are collected into the returned
+        :class:`BatchExecution`'s ``errors`` mapping, keyed by the query's
+        index in ``queries``, while every other query still runs.  Syntax
+        and semantic errors (:class:`~repro.exceptions.QueryError`) still
+        raise immediately: a malformed workload is a caller bug, not a data
+        artifact.
+
+        The return value unpacks as the historical ``(results, stats)``
+        pair; ``errors`` rides along as an attribute.
 
         Parameters
         ----------
         skip_failures:
-            When true, queries that fail at execution time — empty
-            candidate sets, or anchors that no longer exist (dead query-log
-            entries) — are skipped instead of raising, the behaviour
-            workload replays want.  Syntax and semantic errors still raise:
-            a malformed workload is a caller bug, not a data artifact.
+            Retained for backward compatibility; failures are now always
+            collected rather than raised, so this flag only documents
+            intent at call sites that predate :class:`BatchExecution`.
         """
+        del skip_failures  # historical flag; failures are always collected
         results: list[OutlierResult] = []
+        errors: dict[int, ReproError] = {}
         aggregate = ExecutionStats(queries=0)
-        for query in queries:
+        for position, query in enumerate(queries):
             try:
                 result = self.execute(query)
-            except (ExecutionError, VertexNotFoundError):
-                if not skip_failures:
-                    raise
+            except QueryError:
+                raise
+            except ReproError as error:
+                errors[position] = error
                 continue
             results.append(result)
             if result.stats is not None:
                 aggregate.merge(result.stats)
-        return results, aggregate
+        return BatchExecution(results, aggregate, errors)

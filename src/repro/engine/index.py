@@ -18,6 +18,7 @@ from typing import Iterable
 
 from scipy import sparse
 
+from repro import faultinject
 from repro.exceptions import ExecutionError
 from repro.hin.network import HeterogeneousInformationNetwork
 from repro.metapath.materialize import materialize, materialize_row
@@ -133,6 +134,7 @@ def build_pm_index(network: HeterogeneousInformationNetwork) -> MetaPathIndex:
     """Materialize every legal length-2 meta-path in full (PM, §6.2)."""
     index = MetaPathIndex()
     for path in _all_length2_paths(network):
+        faultinject.check("index_build")
         index.store_full(path, materialize(network, path))
     return index
 
@@ -146,11 +148,13 @@ def build_spm_index(
     For each selected vertex, rows are stored for every legal length-2
     meta-path starting at the vertex's type.
     """
+    faultinject.check("index_build")
     index = MetaPathIndex()
     paths_by_source: dict[str, list[MetaPath]] = {}
     for path in _all_length2_paths(network):
         paths_by_source.setdefault(path.source, []).append(path)
     for vertex in selected:
+        faultinject.check("index_build")
         for path in paths_by_source.get(vertex.type, []):
             row = materialize_row(network, path, vertex)
             index.store_row(path, vertex.index, row)

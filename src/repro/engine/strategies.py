@@ -23,6 +23,8 @@ from typing import Iterable, Sequence
 
 from scipy import sparse
 
+from repro import faultinject
+from repro.engine.deadline import check_deadline
 from repro.engine.index import MetaPathIndex, build_pm_index, build_spm_index
 from repro.engine.stats import PHASE_INDEXED, PHASE_NOT_INDEXED, ExecutionStats
 from repro.exceptions import ExecutionError, MetaPathError
@@ -87,7 +89,12 @@ class MaterializationStrategy(abc.ABC):
         width = self.network.num_vertices(path.target)
         if not vertex_indices:
             return sparse.csr_matrix((0, width), dtype=float)
-        rows = [self.neighbor_row(path, index, stats) for index in vertex_indices]
+        rows = []
+        for index in vertex_indices:
+            # Cooperative deadline enforcement: one check per materialized
+            # vector bounds overrun latency to a single row's cost.
+            check_deadline("neighbor-vector materialization")
+            rows.append(self.neighbor_row(path, index, stats))
         return sparse.vstack(rows, format="csr")
 
     def index_size_bytes(self) -> int:
@@ -190,6 +197,8 @@ class PMStrategy(MaterializationStrategy):
                     raise ExecutionError(
                         f"PM index is missing the matrix for {segment}"
                     )
+                check_deadline("indexed row multiplication")
+                faultinject.check("matrix_multiply")
                 row = row @ matrix
             if tail is not None:
                 row = row @ self.network.adjacency(tail.types[0], tail.types[1])
@@ -235,6 +244,8 @@ class PMStrategy(MaterializationStrategy):
                     raise ExecutionError(
                         f"PM index is missing the matrix for {segment}"
                     )
+                check_deadline("indexed block multiplication")
+                faultinject.check("matrix_multiply")
                 block = block @ matrix
             if tail is not None:
                 block = block @ self.network.adjacency(tail.types[0], tail.types[1])
@@ -337,6 +348,7 @@ class SPMStrategy(MaterializationStrategy):
                 # Expand through the segment: Σ_j row[j] · φ_segment(vj).
                 accumulator: sparse.csr_matrix | None = None
                 for j, weight in zip(row.indices, row.data):
+                    check_deadline("SPM segment expansion")
                     contribution = self._segment_row(segment, int(j), stats)
                     term = contribution.multiply(weight)
                     accumulator = term if accumulator is None else accumulator + term

@@ -20,6 +20,11 @@ __all__ = [
     "QuerySemanticError",
     "ExecutionError",
     "MeasureError",
+    "DeadlineExceededError",
+    "ResourceLimitError",
+    "CircuitOpenError",
+    "TransientFaultError",
+    "DegradedResultWarning",
 ]
 
 
@@ -97,3 +102,72 @@ class ExecutionError(ReproError):
 
 class MeasureError(ReproError):
     """An outlierness measure was misconfigured or given invalid input."""
+
+
+class DeadlineExceededError(ExecutionError):
+    """A query ran past its time budget (cooperative deadline enforcement).
+
+    Raised from materialization and scoring loops when the per-query
+    :class:`~repro.engine.resilience.Deadline` expires.  Carries the budget
+    and the elapsed time at the moment the overrun was detected so callers
+    (and tests) can verify enforcement latency.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget_seconds: float | None = None,
+        elapsed_seconds: float | None = None,
+    ):
+        super().__init__(message)
+        self.budget_seconds = budget_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+
+class ResourceLimitError(ExecutionError):
+    """An operation was refused because it would exceed a resource guardrail.
+
+    Example: materializing a PM index whose estimated size exceeds the
+    configured ``max_memory_mb``.  Carries the estimate and the limit in
+    bytes when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        estimated_bytes: int | None = None,
+        limit_bytes: int | None = None,
+    ):
+        super().__init__(message)
+        self.estimated_bytes = estimated_bytes
+        self.limit_bytes = limit_bytes
+
+
+class CircuitOpenError(ExecutionError):
+    """A circuit breaker is open: the guarded operation is short-circuited.
+
+    After N consecutive failures of a guarded operation (index construction,
+    typically) the breaker refuses further attempts until its reset window
+    elapses, so a flapping dependency cannot consume every query's budget.
+    """
+
+
+class TransientFaultError(ExecutionError):
+    """A transient, retryable failure (I/O hiccup, injected fault, ...).
+
+    The resilience layer's retry-with-backoff treats this class (and only
+    the classes it is configured with) as retryable; anything else
+    propagates immediately.
+    """
+
+
+class DegradedResultWarning(UserWarning):
+    """A query succeeded but on a degraded path (fallback strategy, partial).
+
+    This is a :class:`UserWarning`, not a :class:`ReproError`: the query
+    *did* return a usable ranking.  The accompanying
+    :class:`~repro.core.results.OutlierResult` carries ``degraded=True`` and
+    a ``degradation_reason`` explaining which rung of the ladder answered.
+    """

@@ -130,6 +130,19 @@ def member_type_of(schema: NetworkSchema, expression: SetExpression) -> str:
 
 def validate_query(schema: NetworkSchema, query: Query) -> ValidatedQuery:
     """Validate ``query`` against ``schema``; see module docstring for rules."""
+    # TOP k is re-validated at execution time: the parser rejects bad
+    # literals, but ASTs are also built programmatically, where a float,
+    # bool, or non-positive k would otherwise surface as garbage slicing
+    # deep inside ranking.
+    top_k = query.top_k
+    if isinstance(top_k, bool) or not isinstance(top_k, int):
+        raise QuerySemanticError(
+            f"TOP k must be a positive integer, got {top_k!r} "
+            f"({type(top_k).__name__})"
+        )
+    if top_k <= 0:
+        raise QuerySemanticError(f"TOP k must be a positive integer, got {top_k}")
+
     candidate_type = member_type_of(schema, query.candidates)
     if query.reference is not None:
         reference_type = member_type_of(schema, query.reference)

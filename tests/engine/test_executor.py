@@ -211,12 +211,32 @@ class TestExecuteMany:
         with pytest.raises(QuerySyntaxError):
             executor.execute_many(["FIND gibberish"], skip_failures=True)
 
-    def test_failures_raise_without_skip(self, figure1):
+    def test_failures_are_collected_per_query(self, figure1):
+        """One failing query no longer aborts the batch: errors come back
+        keyed by query index alongside the successful results."""
         executor = QueryExecutor(BaselineStrategy(figure1))
-        with pytest.raises(ExecutionError):
-            executor.execute_many(
-                [
-                    'FIND OUTLIERS FROM author AS A WHERE COUNT(A.paper) > 99 '
-                    "JUDGED BY author.paper.venue TOP 3;"
-                ]
-            )
+        good = (
+            'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+            "JUDGED BY author.paper.venue TOP 3;"
+        )
+        bad = (
+            'FIND OUTLIERS FROM author AS A WHERE COUNT(A.paper) > 99 '
+            "JUDGED BY author.paper.venue TOP 3;"
+        )
+        batch = executor.execute_many([good, bad, good])
+        results, stats = batch  # the historical 2-tuple unpacking works
+        assert len(results) == 2
+        assert stats.queries == 2
+        assert set(batch.errors) == {1}
+        assert isinstance(batch.errors[1], ExecutionError)
+
+    def test_batch_execution_attributes(self, figure1):
+        executor = QueryExecutor(BaselineStrategy(figure1))
+        query = (
+            'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+            "JUDGED BY author.paper.venue TOP 3;"
+        )
+        batch = executor.execute_many([query])
+        assert batch.results == batch[0]
+        assert batch.stats is batch[1]
+        assert batch.errors == {}

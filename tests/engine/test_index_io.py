@@ -101,3 +101,94 @@ class TestErrors:
         np.save(rows_file, np.array([0, 1, 2], dtype=np.int64))
         with pytest.raises(ExecutionError, match="corrupt"):
             load_index(tmp_path)
+
+
+class TestCorruptionSafety:
+    """Truncated/garbled files surface as typed ExecutionError, never as raw
+    JSON/zipfile/pickle tracebacks."""
+
+    def test_garbage_manifest_json(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{not valid json!!", encoding="utf-8")
+        with pytest.raises(ExecutionError, match="corrupt index manifest"):
+            load_index(tmp_path)
+
+    def test_manifest_wrong_top_level_type(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(ExecutionError, match="expected an object"):
+            load_index(tmp_path)
+
+    def test_manifest_binary_garbage(self, tmp_path):
+        (tmp_path / "manifest.json").write_bytes(b"\x00\xff\xfe\x01garbage")
+        with pytest.raises(ExecutionError, match="corrupt index manifest"):
+            load_index(tmp_path)
+
+    def test_manifest_entry_missing_keys(self, tmp_path):
+        import json
+
+        manifest = {"format_version": 1, "full": [{"path": "author.paper.venue"}], "partial": []}
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(ExecutionError, match="corrupt index manifest"):
+            load_index(tmp_path)
+
+    def test_truncated_npz_data_file(self, figure1, tmp_path):
+        save_index(build_pm_index(figure1), tmp_path)
+        data_file = next(tmp_path.glob("metapath_*.npz"))
+        payload = data_file.read_bytes()
+        data_file.write_bytes(payload[: len(payload) // 2])  # short read
+        with pytest.raises(ExecutionError, match="corrupt or truncated"):
+            load_index(tmp_path)
+
+    def test_overwritten_npz_data_file(self, figure1, tmp_path):
+        save_index(build_pm_index(figure1), tmp_path)
+        next(tmp_path.glob("metapath_*.npz")).write_bytes(b"this is not a zip file")
+        with pytest.raises(ExecutionError, match="corrupt or truncated"):
+            load_index(tmp_path)
+
+    def test_corrupt_rows_npy(self, figure1, tmp_path):
+        zoe = figure1.find_vertex("author", "Zoe")
+        save_index(build_spm_index(figure1, [zoe]), tmp_path)
+        next(tmp_path.glob("*.rows.npy")).write_bytes(b"\x93NUMPY garbage")
+        with pytest.raises(ExecutionError, match="corrupt or truncated"):
+            load_index(tmp_path)
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_after_save(self, figure1, tmp_path):
+        zoe = figure1.find_vertex("author", "Zoe")
+        save_index(build_pm_index(figure1), tmp_path / "pm")
+        save_index(build_spm_index(figure1, [zoe]), tmp_path / "spm")
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_interrupted_save_leaves_no_manifest(self, figure1, tmp_path):
+        """A fault mid-save never yields a manifest pointing at missing
+        data: the manifest is written last, so the directory just looks
+        like no index was ever saved there."""
+        from repro import faultinject
+        from repro.exceptions import TransientFaultError
+
+        target = tmp_path / "broken"
+        rule = faultinject.FaultRule(point="io", after_calls=1, times=1)
+        with faultinject.inject(rule):
+            with pytest.raises(TransientFaultError):
+                save_index(build_pm_index(figure1), target)
+        assert not (target / "manifest.json").exists()
+        with pytest.raises(ExecutionError, match="manifest"):
+            load_index(target)
+        assert list(target.rglob("*.tmp")) == []
+
+    def test_failed_resave_preserves_previous_index(self, figure1, tmp_path):
+        """Overwriting an index atomically: if the second save dies before
+        its manifest lands, the first index still loads intact."""
+        from repro import faultinject
+        from repro.exceptions import TransientFaultError
+
+        target = tmp_path / "idx"
+        index = build_pm_index(figure1)
+        save_index(index, target)
+        rule = faultinject.FaultRule(point="io", after_calls=1, times=1)
+        with faultinject.inject(rule):
+            with pytest.raises(TransientFaultError):
+                save_index(index, target)
+        restored = load_index(target)
+        assert _indexes_equal(index, restored)
