@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Smoke test for ``repro serve``: real process, real HTTP, real concurrency.
+
+Boots the service as a subprocess on an ephemeral port, fires 50 concurrent
+queries at it in waves (a small distinct-query pool, repeated — the shape of
+a dashboard workload), and asserts the serving contract:
+
+* every response is non-5xx (2xx for queries, no server-side crashes),
+* the result-cache hit rate sampled from ``GET /stats`` after each wave is
+  monotone non-decreasing and ends above where it started,
+* the server shuts down cleanly (exit code 0) after ``--max-requests``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+
+Exits 0 on success, 1 on any violation — CI-friendly, stdlib-only.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+WAVES = 5
+QUERIES_PER_WAVE = 10
+DISTINCT_QUERIES = [
+    'FIND OUTLIERS FROM author{"Prof. Hub"}.paper.author '
+    f"JUDGED BY author.paper.venue TOP {top};"
+    for top in range(1, 6)
+]
+#: 50 queries + one /stats probe per wave; the server stops itself after.
+TOTAL_REQUESTS = WAVES * (QUERIES_PER_WAVE + 1)
+
+
+def request(host: str, port: int, method: str, path: str, body=None):
+    connection = http.client.HTTPConnection(host, port, timeout=30.0)
+    try:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        connection.request(method, path, body=payload)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus = str(Path(tmp) / "corpus.json")
+        subprocess.run(
+            [sys.executable, "-m", "repro", "generate",
+             "--preset", "ego", "--seed", "0", "--out", corpus],
+            check=True,
+            cwd=repo_root,
+        )
+
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--network", corpus,
+             "--port", "0",
+             "--workers", "4",
+             "--queue-depth", "64",
+             "--max-requests", str(TOTAL_REQUESTS)],
+            cwd=repo_root,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = server.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", banner)
+            if match is None:
+                print(f"FAIL: no serving banner, got {banner!r}")
+                return 1
+            host, port = match.group(1), int(match.group(2))
+            print(banner.strip())
+
+            def post(query: str):
+                return request(host, port, "POST", "/query", {"query": query})
+
+            bad_statuses: list[int] = []
+            hit_rates: list[float] = []
+            with ThreadPoolExecutor(max_workers=QUERIES_PER_WAVE) as pool:
+                for wave in range(WAVES):
+                    queries = [
+                        DISTINCT_QUERIES[i % len(DISTINCT_QUERIES)]
+                        for i in range(QUERIES_PER_WAVE)
+                    ]
+                    for status, _ in pool.map(post, queries):
+                        if status >= 500:
+                            bad_statuses.append(status)
+                    status, stats = request(host, port, "GET", "/stats")
+                    if status >= 500:
+                        bad_statuses.append(status)
+                    hit_rates.append(stats["cache"]["hit_rate"])
+                    print(
+                        f"wave {wave + 1}/{WAVES}: "
+                        f"cache hit rate {hit_rates[-1]:.2f}"
+                    )
+
+            deadline = time.monotonic() + 30.0
+            while server.poll() is None and time.monotonic() < deadline:
+                time.sleep(0.1)
+
+            failures = []
+            if bad_statuses:
+                failures.append(f"5xx responses: {bad_statuses}")
+            if any(b < a for a, b in zip(hit_rates, hit_rates[1:])):
+                failures.append(f"hit rate not monotone: {hit_rates}")
+            if hit_rates[-1] <= hit_rates[0]:
+                failures.append(f"cache never warmed: {hit_rates}")
+            if server.returncode != 0:
+                failures.append(f"server exit code {server.returncode}")
+            if failures:
+                for failure in failures:
+                    print(f"FAIL: {failure}")
+                return 1
+            print(
+                f"OK: {WAVES * QUERIES_PER_WAVE} concurrent queries, "
+                f"zero 5xx, hit rate {hit_rates[0]:.2f} -> {hit_rates[-1]:.2f}, "
+                "clean shutdown"
+            )
+            return 0
+        finally:
+            if server.poll() is None:
+                server.terminate()
+                server.wait(timeout=10.0)
+            server.stdout.close()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

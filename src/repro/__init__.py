@@ -38,6 +38,9 @@ from repro.exceptions import (
     ReproError,
     ResourceLimitError,
     SchemaError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
     TransientFaultError,
     VertexNotFoundError,
 )
@@ -99,6 +102,7 @@ from repro.engine import (
     explain,
     make_strategy,
 )
+from repro.service import EngineHandle, QueryService, ServiceConfig
 
 __version__ = "1.0.0"
 
@@ -169,6 +173,13 @@ __all__ = [
     "CircuitOpenError",
     "TransientFaultError",
     "DegradedResultWarning",
+    # Query service
+    "EngineHandle",
+    "QueryService",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
     # Evaluation & statistics
     "precision_at_k",
     "recall_at_k",

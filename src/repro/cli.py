@@ -8,6 +8,11 @@ Subcommands::
     repro explain  --network corpus.json "FIND OUTLIERS ..."
     repro schema   --network corpus.json
     repro shell    --network corpus.json
+    repro serve    --network corpus.json --port 8080 --workers 8
+
+``repro serve`` runs the concurrent query service of
+:mod:`repro.service` behind a stdlib JSON/HTTP frontend — see
+``docs/service.md`` for endpoints and tuning.
 
 ``repro shell`` is a small REPL: enter queries terminated by ``;`` and use
 dot-commands (``.help``, ``.schema``, ``.strategy pm``, ``.measure cossim``,
@@ -149,6 +154,68 @@ def build_parser() -> argparse.ArgumentParser:
 
     shell = commands.add_parser("shell", help="interactive query shell")
     add_network_and_query(shell, with_query=False)
+
+    serve = commands.add_parser(
+        "serve", help="run the concurrent query service (JSON over HTTP)"
+    )
+    serve.add_argument("--network", required=True, help="network JSON path")
+    serve.add_argument(
+        "--strategy", choices=("baseline", "pm", "spm"), default="pm"
+    )
+    serve.add_argument(
+        "--measure", default="netout", help="outlierness measure name"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listen port (0 binds an ephemeral port and prints it)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker threads executing queries over the shared index",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="requests allowed to wait beyond the busy workers; requests "
+        "past workers+queue-depth are shed with HTTP 429",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request execution deadline (HTTP 504 on overrun)",
+    )
+    serve.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="result cache entry lifetime; 0 disables the result cache",
+    )
+    serve.add_argument(
+        "--row-cache-rows",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="shared LRU row cache capacity in (meta-path, vertex) rows; "
+        "0 disables it",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after serving N HTTP requests (smoke tests)",
+    )
 
     return parser
 
@@ -358,6 +425,55 @@ def _command_schema(args, out) -> int:
     return 0
 
 
+def _command_serve(args, out) -> int:
+    from repro.service import QueryService, ServiceConfig, make_server
+
+    network = _load_network(args.network)
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        timeout_seconds=args.timeout,
+        cache_ttl_seconds=args.cache_ttl if args.cache_ttl > 0 else None,
+        cache_max_entries=0 if args.cache_ttl == 0 else 1024,
+    )
+    service = QueryService.from_network(
+        network,
+        config,
+        strategy=args.strategy,
+        measure=args.measure,
+        row_cache_rows=args.row_cache_rows,
+        resilience=_resilience_policy(args),
+    )
+    server = make_server(
+        service,
+        host=args.host,
+        port=args.port,
+        max_requests=args.max_requests,
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving {args.network} on http://{host}:{port} "
+        f"({service.handle.fingerprint}, {args.workers} workers, "
+        f"queue depth {args.queue_depth}, "
+        f"index {service.handle.index_size_bytes() / 1e6:.2f} MB)",
+        file=out,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()
+        service.close()
+        print(
+            f"served {server.served_count} requests; shut down cleanly",
+            file=out,
+            flush=True,
+        )
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Shell
 # ----------------------------------------------------------------------
@@ -476,6 +592,7 @@ def main(argv: list[str] | None = None, *, out=None, stdin=None) -> int:
         "schema": lambda: _command_schema(args, out),
         "stats": lambda: _command_stats(args, out),
         "shell": lambda: _command_shell(args, out, stdin),
+        "serve": lambda: _command_serve(args, out),
     }
     try:
         return handlers[args.command]()

@@ -98,6 +98,84 @@ class OutlierResult:
             for entry in self.outliers
         ]
 
+    def to_dict(self) -> dict:
+        """The full result as one JSON-safe dictionary (lossless).
+
+        Unlike :meth:`to_records`/:meth:`to_json` — which keep only the
+        display payload — this captures everything needed to reconstruct
+        the result with :meth:`from_dict`: the complete score map, the
+        per-feature breakdown, and the degradation flags.  ``stats`` is the
+        one exception: execution timings describe the machine that ran the
+        query, not the answer, so they do not serialize.
+
+        The wire form for a score map is a list of ``[type, index, score]``
+        triples (JSON objects cannot key on vertex identity).
+        """
+
+        def pack(scores: Mapping[VertexId, float]) -> list[list]:
+            return [
+                [vertex.type, vertex.index, score]
+                for vertex, score in scores.items()
+            ]
+
+        payload: dict = {
+            "measure": self.measure,
+            "candidate_count": self.candidate_count,
+            "reference_count": self.reference_count,
+            "degraded": self.degraded,
+            "degradation_reason": self.degradation_reason,
+            "outliers": self.to_records(),
+            "scores": pack(self.scores),
+        }
+        if self.feature_scores is not None:
+            payload["feature_scores"] = {
+                path_text: pack(per_path)
+                for path_text, per_path in self.feature_scores.items()
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "OutlierResult":
+        """Reconstruct a result from :meth:`to_dict` output.
+
+        Round-trips scores, ranks, names, degradation flags, and the
+        per-feature breakdown exactly (``stats`` comes back ``None``).
+        """
+
+        def unpack(triples) -> dict[VertexId, float]:
+            return {
+                VertexId(str(vertex_type), int(index)): float(score)
+                for vertex_type, index, score in triples
+            }
+
+        outliers = [
+            ScoredVertex(
+                vertex=VertexId(
+                    str(record["vertex_type"]), int(record["vertex_index"])
+                ),
+                name=str(record["name"]),
+                score=float(record["score"]),
+                rank=int(record["rank"]),
+            )
+            for record in payload["outliers"]
+        ]
+        feature_scores = None
+        if payload.get("feature_scores") is not None:
+            feature_scores = {
+                str(path_text): unpack(triples)
+                for path_text, triples in payload["feature_scores"].items()
+            }
+        return cls(
+            outliers=outliers,
+            scores=unpack(payload["scores"]),
+            candidate_count=int(payload["candidate_count"]),
+            reference_count=int(payload["reference_count"]),
+            measure=str(payload["measure"]),
+            feature_scores=feature_scores,
+            degraded=bool(payload.get("degraded", False)),
+            degradation_reason=payload.get("degradation_reason"),
+        )
+
     def to_json(self) -> str:
         """The full result (ranking + metadata) as a JSON document."""
         payload = {

@@ -14,6 +14,7 @@ Baseline avoids repeated traversals, a cached SPM avoids repeated traversal
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from scipy import sparse
@@ -41,6 +42,13 @@ class CachingStrategy(MaterializationStrategy):
     -----
     The cache delegates statistics to the inner strategy only on misses, so
     per-phase accounting stays truthful: a hit costs (and records) nothing.
+
+    The cache is thread-safe: an ``RLock`` guards every read and write of
+    the LRU ``OrderedDict`` and its counters, so one instance can sit in
+    front of a shared index inside :class:`~repro.service.QueryService`'s
+    worker pool.  Misses materialize *outside* the lock — concurrent misses
+    never serialize on each other, at worst both compute the same row and
+    the second insert wins.
     """
 
     def __init__(self, inner: MaterializationStrategy, *, max_rows: int = 4096) -> None:
@@ -51,6 +59,7 @@ class CachingStrategy(MaterializationStrategy):
         self.max_rows = max_rows
         self.name = f"cached-{inner.name}"
         self._rows: OrderedDict[tuple[MetaPath, int], sparse.csr_matrix] = OrderedDict()
+        self._lock = threading.RLock()
         self._cached_version = inner.network.version
         self.hits = 0
         self.misses = 0
@@ -61,38 +70,43 @@ class CachingStrategy(MaterializationStrategy):
     # MaterializationStrategy interface
     # ------------------------------------------------------------------
     def neighbor_row(self, path, vertex_index, stats=None) -> sparse.csr_matrix:
-        # Mutations invalidate every cached row: serving pre-mutation
-        # vectors silently would desynchronize results from the live data.
-        if self.network.version != self._cached_version:
-            self._rows.clear()
-            self._cached_version = self.network.version
         key = (path, vertex_index)
-        cached = self._rows.get(key)
-        if cached is not None:
-            try:
-                faultinject.check("cache_read")
-            except TransientFaultError:
-                # A failed cache read is self-healing: drop the suspect row
-                # and recompute from the inner strategy (a miss, not an
-                # error) — a cache must never make a query fail.
-                self._rows.pop(key, None)
-                self.faulted_reads += 1
-            else:
-                self._rows.move_to_end(key)
-                self.hits += 1
-                return cached
+        with self._lock:
+            # Mutations invalidate every cached row: serving pre-mutation
+            # vectors silently would desynchronize results from the live data.
+            if self.network.version != self._cached_version:
+                self._rows.clear()
+                self._cached_version = self.network.version
+            cached = self._rows.get(key)
+            if cached is not None:
+                try:
+                    faultinject.check("cache_read")
+                except TransientFaultError:
+                    # A failed cache read is self-healing: drop the suspect
+                    # row and recompute from the inner strategy (a miss, not
+                    # an error) — a cache must never make a query fail.
+                    self._rows.pop(key, None)
+                    self.faulted_reads += 1
+                else:
+                    self._rows.move_to_end(key)
+                    self.hits += 1
+                    return cached
+        # Materialize outside the lock so concurrent misses don't serialize;
+        # two threads may compute the same row, the second insert wins.
         row = self.inner.neighbor_row(path, vertex_index, stats)
-        self.misses += 1
-        self._rows[key] = row
-        if len(self._rows) > self.max_rows:
-            self._rows.popitem(last=False)
+        with self._lock:
+            self.misses += 1
+            self._rows[key] = row
+            if len(self._rows) > self.max_rows:
+                self._rows.popitem(last=False)
         return row
 
     def index_size_bytes(self) -> int:
         """Inner index bytes plus the cache's current row storage."""
-        cache_bytes = sum(
-            sparse_row_bytes(int(row.nnz)) for row in self._rows.values()
-        )
+        with self._lock:
+            cache_bytes = sum(
+                sparse_row_bytes(int(row.nnz)) for row in self._rows.values()
+            )
         return self.inner.index_size_bytes() + cache_bytes
 
     # ------------------------------------------------------------------
@@ -100,17 +114,20 @@ class CachingStrategy(MaterializationStrategy):
     # ------------------------------------------------------------------
     @property
     def cached_rows(self) -> int:
-        return len(self._rows)
+        with self._lock:
+            return len(self._rows)
 
     @property
     def hit_rate(self) -> float:
         """Fraction of row requests served from the cache (0 when unused)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def clear(self) -> None:
         """Drop all cached rows and reset hit/miss counters."""
-        self._rows.clear()
-        self.hits = 0
-        self.misses = 0
-        self.faulted_reads = 0
+        with self._lock:
+            self._rows.clear()
+            self.hits = 0
+            self.misses = 0
+            self.faulted_reads = 0

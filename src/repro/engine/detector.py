@@ -33,6 +33,7 @@ from repro.hin.network import HeterogeneousInformationNetwork, VertexId
 from repro.query.ast import Query
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.deadline import Deadline
     from repro.engine.resilience import ResiliencePolicy
 
 __all__ = ["OutlierDetector"]
@@ -131,9 +132,16 @@ class OutlierDetector:
     def measure_name(self) -> str:
         return self._executor.measure.name
 
-    def detect(self, query: str | Query) -> OutlierResult:
-        """Execute an outlier query and return the ranked result."""
-        return self._executor.execute(query)
+    def detect(
+        self, query: str | Query, *, deadline: "Deadline | None" = None
+    ) -> OutlierResult:
+        """Execute an outlier query and return the ranked result.
+
+        ``deadline`` optionally overrides the per-call time budget (the
+        resilience policy's timeout otherwise applies) — the query service
+        uses this to enforce per-request deadlines over a shared detector.
+        """
+        return self._executor.execute(query, deadline=deadline)
 
     def detect_with_features(
         self,

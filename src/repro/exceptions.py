@@ -24,6 +24,9 @@ __all__ = [
     "ResourceLimitError",
     "CircuitOpenError",
     "TransientFaultError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
     "DegradedResultWarning",
 ]
 
@@ -160,6 +163,49 @@ class TransientFaultError(ExecutionError):
     The resilience layer's retry-with-backoff treats this class (and only
     the classes it is configured with) as retryable; anything else
     propagates immediately.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the long-lived query service layer.
+
+    Service errors are *not* :class:`ExecutionError` subclasses: they
+    describe the state of the service wrapper (full queue, shut down), not a
+    failure of query execution itself.
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service shed a request because its admission queue is full.
+
+    Load shedding is the service's backpressure mechanism: rather than
+    queueing unboundedly (and blowing latency for everyone), a request that
+    arrives when ``queue_depth`` requests are already waiting is refused
+    with this typed error.  ``retry_after_seconds`` is the service's
+    estimate of when capacity will free up — the HTTP frontend maps it to a
+    ``Retry-After`` header on a 429 response.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after_seconds: float | None = None,
+        queued: int | None = None,
+        capacity: int | None = None,
+    ):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+        self.queued = queued
+        self.capacity = capacity
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to a service that has been shut down.
+
+    Raised by :meth:`~repro.service.QueryService.submit` after
+    :meth:`~repro.service.QueryService.close`; in-flight requests accepted
+    before the close still complete (graceful drain).
     """
 
 

@@ -46,8 +46,16 @@ __all__ = [
     "active_injector",
 ]
 
-#: The instrumented seams, in the order a query traverses them.
-FAULT_POINTS = ("index_build", "cache_read", "matrix_multiply", "io")
+#: The instrumented seams, in the order a query traverses them.  The
+#: ``service.enqueue`` point sits in the service layer's admission path so
+#: the harness can simulate queue stalls and verify load-shedding behavior.
+FAULT_POINTS = (
+    "index_build",
+    "cache_read",
+    "matrix_multiply",
+    "io",
+    "service.enqueue",
+)
 
 
 @dataclass

@@ -1,0 +1,52 @@
+"""Long-lived concurrent query service over the outlier-detection engine.
+
+The batch library answers one query per :class:`~repro.OutlierDetector`;
+this package turns it into a *serving* system — the unit of work the
+ROADMAP's production north star actually needs:
+
+* :class:`~repro.service.handle.EngineHandle` — load a network and build
+  its PM/SPM index **once**, share the immutable matrices across a worker
+  pool (per-request stats and deadlines stay thread-local).
+* :class:`~repro.service.admission.AdmissionController` — a bounded
+  in-flight budget: beyond ``workers + queue_depth`` requests, submissions
+  shed with a typed :class:`~repro.exceptions.ServiceOverloadedError` and a
+  retry-after hint, never unbounded queueing.
+* :class:`~repro.service.cache.ResultCache` — whole-result memoization
+  keyed by the *canonical* query form (reusing the query formatter), with
+  TTL and network-version invalidation.
+* :class:`~repro.service.service.QueryService` — the programmatic API:
+  ``submit()`` futures, ``execute()`` sync calls, ``stats()`` snapshots.
+* :mod:`repro.service.http` — a stdlib-only JSON/HTTP frontend, exposed on
+  the CLI as ``repro serve``.
+
+Quickstart
+----------
+>>> from repro.datagen.fixtures import figure1_network
+>>> from repro.service import QueryService, ServiceConfig
+>>> with QueryService.from_network(
+...     figure1_network(), ServiceConfig(workers=2)
+... ) as service:
+...     result = service.execute(
+...         'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+...         'JUDGED BY author.paper.venue TOP 3;')
+>>> len(result) <= 3
+True
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.cache import ResultCache, canonical_query_key
+from repro.service.config import ServiceConfig
+from repro.service.handle import EngineHandle
+from repro.service.http import ServiceHTTPServer, make_server
+from repro.service.service import QueryService
+
+__all__ = [
+    "AdmissionController",
+    "EngineHandle",
+    "QueryService",
+    "ResultCache",
+    "ServiceConfig",
+    "ServiceHTTPServer",
+    "canonical_query_key",
+    "make_server",
+]

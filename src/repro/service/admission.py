@@ -1,0 +1,126 @@
+"""Admission control: a bounded in-flight budget with typed load shedding.
+
+A service that queues without bound does not fail loudly — it fails by
+letting every request's latency crawl toward infinity.  The
+:class:`AdmissionController` enforces the alternative: at most
+``capacity = workers + queue_depth`` requests may be admitted (executing or
+waiting) at once, and a request beyond that is *shed* immediately with
+:class:`~repro.exceptions.ServiceOverloadedError`, carrying a
+``retry_after_seconds`` hint derived from the service's recent latency.
+
+The enqueue path is instrumented with the ``service.enqueue`` fault point
+(:mod:`repro.faultinject`), so the fault harness can simulate a stalled or
+refusing queue; an injected fault there is converted into a shed — the
+admission layer must never crash a request, only refuse it in a typed way.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import faultinject
+from repro.exceptions import ServiceError, ServiceOverloadedError, TransientFaultError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded concurrent-admission counter with shedding counters.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum requests admitted simultaneously (executing + queued).
+    retry_after_seconds:
+        Baseline retry hint attached to shed errors; callers may pass a
+        live estimate per :meth:`admit` call instead.
+
+    Notes
+    -----
+    This is intentionally a counter, not a queue: the service's worker pool
+    already provides the FIFO; admission only decides *whether* a request
+    may join it.  All state transitions happen under one lock, so counters
+    are exact even under a thundering herd.
+    """
+
+    def __init__(
+        self, capacity: int, *, retry_after_seconds: float = 0.1
+    ) -> None:
+        if capacity < 1:
+            raise ServiceError(f"admission capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.retry_after_seconds = retry_after_seconds
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        #: Requests admitted over the controller's lifetime.
+        self.admitted = 0
+        #: Requests refused because the budget was exhausted.
+        self.shed = 0
+        #: Requests refused because the enqueue fault point fired.
+        self.faulted = 0
+        #: High-water mark of simultaneous admissions.
+        self.peak_in_flight = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently admitted (executing or queued)."""
+        with self._lock:
+            return self._in_flight
+
+    def admit(self, *, retry_after_seconds: float | None = None) -> None:
+        """Claim one admission slot or raise ``ServiceOverloadedError``.
+
+        Every successful :meth:`admit` must be paired with exactly one
+        :meth:`release` (the service does this in a ``finally`` around
+        execution).  The ``service.enqueue`` fault point fires *before* the
+        slot is claimed, so an injected queue stall sheds cleanly without
+        leaking capacity.
+        """
+        hint = (
+            retry_after_seconds
+            if retry_after_seconds is not None
+            else self.retry_after_seconds
+        )
+        with self._lock:
+            try:
+                faultinject.check("service.enqueue")
+            except TransientFaultError as error:
+                self.faulted += 1
+                self.shed += 1
+                raise ServiceOverloadedError(
+                    f"request shed: the admission queue is stalled ({error})",
+                    retry_after_seconds=hint,
+                    queued=self._in_flight,
+                    capacity=self.capacity,
+                ) from error
+            if self._in_flight >= self.capacity:
+                self.shed += 1
+                raise ServiceOverloadedError(
+                    f"request shed: {self._in_flight} requests in flight, "
+                    f"capacity {self.capacity}; retry in {hint:.3g}s",
+                    retry_after_seconds=hint,
+                    queued=self._in_flight,
+                    capacity=self.capacity,
+                )
+            self._in_flight += 1
+            self.admitted += 1
+            self.peak_in_flight = max(self.peak_in_flight, self._in_flight)
+
+    def release(self) -> None:
+        """Return one admission slot (called when a request finishes)."""
+        with self._lock:
+            if self._in_flight <= 0:
+                raise ServiceError("release() without a matching admit()")
+            self._in_flight -= 1
+
+    def snapshot(self) -> dict:
+        """Point-in-time counters, keyed for the service's stats endpoint."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "in_flight": self._in_flight,
+                "peak_in_flight": self.peak_in_flight,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "faulted": self.faulted,
+            }

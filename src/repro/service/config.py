@@ -1,0 +1,78 @@
+"""Tuning knobs for the concurrent query service.
+
+One :class:`ServiceConfig` instance describes a deployment: how many worker
+threads execute queries, how deep the admission queue may grow before the
+service sheds load, the per-request time budget, and the result cache's
+size and freshness window.  The CLI's ``repro serve`` flags map onto these
+fields one-to-one (see ``docs/service.md`` for tuning guidance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ServiceError
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Immutable service deployment settings.
+
+    Attributes
+    ----------
+    workers:
+        Worker threads executing queries against the shared engine.
+    queue_depth:
+        Requests allowed to *wait* beyond the ones the workers are busy
+        with.  A request arriving when ``workers + queue_depth`` requests
+        are in flight is shed with
+        :class:`~repro.exceptions.ServiceOverloadedError` — bounded queues
+        are the backpressure mechanism, not a failure mode.
+    timeout_seconds:
+        Per-request cooperative deadline (``None`` = unlimited).  Enforced
+        from the moment a worker picks the request up, via the engine's
+        existing :class:`~repro.engine.deadline.Deadline` machinery, so a
+        shed-or-degrade decision composes with the resilience ladder.
+    cache_ttl_seconds:
+        Result cache entry lifetime (``None`` = entries never expire; they
+        still invalidate when the network/index version moves).
+    cache_max_entries:
+        Result cache capacity in entries; ``0`` disables result caching.
+    collect_stats:
+        Attach per-phase :class:`~repro.engine.stats.ExecutionStats` to
+        results (the service's own counters are always collected).
+    """
+
+    workers: int = 4
+    queue_depth: int = 64
+    timeout_seconds: float | None = None
+    cache_ttl_seconds: float | None = 60.0
+    cache_max_entries: int = 1024
+    collect_stats: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_depth < 0:
+            raise ServiceError(
+                f"queue_depth must be >= 0, got {self.queue_depth}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ServiceError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
+        if self.cache_ttl_seconds is not None and self.cache_ttl_seconds < 0:
+            raise ServiceError(
+                f"cache_ttl_seconds must be >= 0, got {self.cache_ttl_seconds}"
+            )
+        if self.cache_max_entries < 0:
+            raise ServiceError(
+                f"cache_max_entries must be >= 0, got {self.cache_max_entries}"
+            )
+
+    @property
+    def capacity(self) -> int:
+        """Maximum concurrently admitted requests (executing + queued)."""
+        return self.workers + self.queue_depth

@@ -1,0 +1,184 @@
+"""A shared, long-lived engine: one network + index, many worker threads.
+
+The batch library builds one :class:`~repro.engine.detector.OutlierDetector`
+per caller and throws it away; a service cannot afford that — PM/SPM index
+construction is exactly the cost the paper's Section 6 works to amortize.
+:class:`EngineHandle` loads a network and builds its strategy **once**, then
+shares the immutable pieces (adjacency matrices, index matrices, measure)
+across every worker thread.
+
+Thread-safety contract
+----------------------
+Everything mutable is per-request: execution statistics are freshly
+allocated inside each ``execute`` call, and deadlines live in
+thread-local scopes (:mod:`repro.engine.deadline`).  The shared pieces are
+read-only after :meth:`warm`, which forces every lazy structure — adjacency
+matrices rebuilt on first access, lazily-built ladder rungs — to
+materialize before the first concurrent request can race on it.  The one
+deliberately shared mutable structure, the optional
+:class:`~repro.engine.caching.CachingStrategy` row cache, carries its own
+lock.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.measures import Measure
+from repro.core.results import OutlierResult
+from repro.engine.caching import CachingStrategy
+from repro.engine.detector import OutlierDetector
+from repro.engine.executor import BatchExecution
+from repro.engine.strategies import MaterializationStrategy
+from repro.hin.network import HeterogeneousInformationNetwork
+from repro.query.ast import Query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.deadline import Deadline
+    from repro.engine.resilience import ResiliencePolicy
+
+__all__ = ["EngineHandle"]
+
+
+class EngineHandle:
+    """One warmed engine shared by a pool of worker threads.
+
+    Parameters
+    ----------
+    network:
+        The network to serve.  The handle snapshots its version; results
+        cached against an older version are invalidated automatically.
+    strategy, measure, combine, index, spm_workload, spm_threshold,
+    resilience:
+        Forwarded to :class:`~repro.engine.detector.OutlierDetector` — the
+        handle adds sharing and warm-up, not new execution semantics.
+    row_cache_rows:
+        When positive, wrap the strategy in a (thread-safe) LRU row cache
+        of this many ``(meta-path, vertex)`` rows, so hub vertices touched
+        by many requests materialize once.  ``0`` disables the row cache.
+    collect_stats:
+        Attach per-phase stats to each result (per-request objects, safe
+        under concurrency).
+
+    Examples
+    --------
+    >>> from repro.datagen.fixtures import figure1_network
+    >>> handle = EngineHandle(figure1_network(), strategy="pm")
+    >>> result = handle.execute(
+    ...     'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+    ...     'JUDGED BY author.paper.venue TOP 3;')
+    >>> len(result) <= 3
+    True
+    """
+
+    def __init__(
+        self,
+        network: HeterogeneousInformationNetwork,
+        *,
+        strategy: str | MaterializationStrategy = "pm",
+        measure: Measure | str = "netout",
+        combine: str = "score",
+        index=None,
+        spm_workload: Sequence[str | Query] | None = None,
+        spm_threshold: float = 0.01,
+        resilience: "ResiliencePolicy | None" = None,
+        row_cache_rows: int = 4096,
+        collect_stats: bool = True,
+    ) -> None:
+        self.network = network
+        base = OutlierDetector(
+            network,
+            strategy=strategy,
+            measure=measure,
+            index=index,
+            spm_workload=spm_workload,
+            spm_threshold=spm_threshold,
+            combine=combine,
+            collect_stats=collect_stats,
+            resilience=resilience,
+        )
+        self.row_cache: CachingStrategy | None = None
+        if row_cache_rows > 0:
+            # Re-wrap the already-built strategy: the index is not rebuilt,
+            # only the (locked) LRU row cache is layered in front of it.
+            self.row_cache = CachingStrategy(
+                base.strategy, max_rows=row_cache_rows
+            )
+            base = OutlierDetector(
+                network,
+                strategy=self.row_cache,
+                measure=measure,
+                combine=combine,
+                collect_stats=collect_stats,
+                resilience=resilience,
+            )
+        self.detector = base
+        self._combine = combine
+        self._version = network.version
+        self.warm()
+
+    # ------------------------------------------------------------------
+    # Warm-up
+    # ------------------------------------------------------------------
+    def warm(self) -> None:
+        """Force every lazily-built shared structure to materialize now.
+
+        Adjacency matrices rebuild on first access and the resilience
+        ladder builds its active rung on first query; both are benign
+        single-threaded but race under a worker pool.  Warming from the
+        loading thread makes the shared state effectively immutable before
+        the first concurrent request arrives.
+        """
+        schema = self.network.schema
+        for edge_type in schema.edge_types:
+            self.network.adjacency(edge_type.source, edge_type.target)
+        # A FallbackStrategy builds its strongest viable rung lazily; force
+        # that build (and any demotions it causes) to happen here, once.
+        # The ladder may sit beneath the row-cache wrapper, so walk inward.
+        strategy = self.detector.strategy
+        while strategy is not None:
+            build_active = getattr(strategy, "_active_strategy", None)
+            if callable(build_active):
+                build_active()
+            strategy = getattr(strategy, "inner", None)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """The served network's mutation counter (cache invalidation key)."""
+        return self.network.version
+
+    @property
+    def stale(self) -> bool:
+        """True once the network mutated after this handle was built."""
+        return self.network.version != self._version
+
+    @property
+    def fingerprint(self) -> str:
+        """Execution-semantics identity: two handles with equal fingerprints
+        and versions return identical results for the same query."""
+        strategy_name = getattr(self.detector.strategy, "name", "custom")
+        return f"{strategy_name}/{self.detector.measure_name}/{self._combine}"
+
+    @property
+    def measure_name(self) -> str:
+        return self.detector.measure_name
+
+    def index_size_bytes(self) -> int:
+        """Bytes held by the shared index (plus any row cache)."""
+        return self.detector.index_size_bytes()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, query: str | Query, *, deadline: "Deadline | None" = None
+    ) -> OutlierResult:
+        """Run one query against the shared engine (any thread)."""
+        return self.detector.detect(query, deadline=deadline)
+
+    def execute_many(self, queries: Sequence[str | Query]) -> BatchExecution:
+        """Run a batch against the shared engine (any thread)."""
+        return self.detector.detect_many(queries)

@@ -1,0 +1,211 @@
+"""A stdlib-only JSON/HTTP frontend over :class:`QueryService`.
+
+Endpoints::
+
+    POST /query        {"query": "FIND OUTLIERS ... TOP 5;"}
+                       -> 200 {"result": {...}, "cached": bool, "elapsed_ms": f}
+                       -> 400 malformed body / query syntax or semantics
+                       -> 429 shed by admission control (Retry-After header)
+                       -> 503 service shut down
+                       -> 504 per-request deadline exceeded
+    GET  /healthz      -> 200 {"status": "ok", ...}
+    GET  /stats        -> 200 the QueryService.stats() snapshot
+    GET  /schema       -> 200 vertex and edge types of the served network
+
+Built on :class:`http.server.ThreadingHTTPServer` on purpose: the repo's
+hard dependency set is numpy/scipy/networkx, and a serving layer must not
+change that.  Handler threads only *wait* on service futures; execution
+concurrency stays bounded by the service's worker pool, and overload
+surfaces as fast typed 429s rather than connection pileups.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    QueryError,
+    ReproError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.service.service import QueryService
+
+__all__ = ["ServiceHTTPServer", "make_server"]
+
+#: Cap on accepted request bodies; an outlier query is a few hundred bytes,
+#: so anything beyond this is a client error, not a query.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`QueryService`.
+
+    ``serve_count`` tracks completed HTTP requests; when ``max_requests``
+    is set (smoke tests), the server shuts itself down after that many.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address, service: QueryService, *, max_requests=None):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.max_requests = max_requests
+        self.served_count = 0
+        self._count_lock = threading.Lock()
+
+    def note_request_served(self) -> None:
+        """Count one finished request; trigger shutdown at ``max_requests``."""
+        with self._count_lock:
+            self.served_count += 1
+            limit_hit = (
+                self.max_requests is not None
+                and self.served_count >= self.max_requests
+            )
+        if limit_hit:
+            # shutdown() blocks until serve_forever exits, so it must not
+            # run on a handler thread that serve_forever is waiting on.
+            threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the four endpoints; all bodies are JSON documents."""
+
+    server: ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence per-request stderr logging; /stats is the observability
+        surface."""
+
+    def _send_json(self, status: int, payload: dict, *, headers=None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        self.server.note_request_served()
+
+    def _error(self, status: int, error: BaseException, *, headers=None) -> None:
+        self._send_json(
+            status,
+            {"error": {"type": type(error).__name__, "message": str(error)}},
+            headers=headers,
+        )
+
+    # -- GET -------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "closed" if service.closed else "ok",
+                    "engine": service.handle.fingerprint,
+                    "network_version": service.handle.version,
+                },
+            )
+        elif self.path == "/stats":
+            self._send_json(200, service.stats())
+        elif self.path == "/schema":
+            schema = service.handle.network.schema
+            network = service.handle.network
+            self._send_json(
+                200,
+                {
+                    "vertex_types": {
+                        vertex_type: network.num_vertices(vertex_type)
+                        for vertex_type in sorted(schema.vertex_types)
+                    },
+                    "edge_types": sorted(
+                        f"{edge.source}-{edge.target}"
+                        for edge in schema.edge_types
+                    ),
+                },
+            )
+        else:
+            self._send_json(
+                404, {"error": {"type": "NotFound", "message": self.path}}
+            )
+
+    # -- POST ------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path != "/query":
+            self._send_json(
+                404, {"error": {"type": "NotFound", "message": self.path}}
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._error(400, ValueError("invalid or oversized request body"))
+            return
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            query_text = payload["query"]
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            self._error(400, error)
+            return
+        if not isinstance(query_text, str):
+            self._error(400, TypeError("'query' must be a string"))
+            return
+
+        service = self.server.service
+        started = time.monotonic()
+        try:
+            future = service.submit(query_text)
+            cached = future.done()
+            result = service.result(future)
+        except ServiceOverloadedError as error:
+            retry_after = error.retry_after_seconds or 0.1
+            self._error(429, error, headers={"Retry-After": f"{retry_after:.3f}"})
+            return
+        except ServiceClosedError as error:
+            self._error(503, error)
+            return
+        except DeadlineExceededError as error:
+            self._error(504, error)
+            return
+        except QueryError as error:
+            self._error(400, error)
+            return
+        except ReproError as error:
+            # Anything else the library raises on purpose is an unservable
+            # query (empty candidate set, dead anchor, ...): a client error.
+            self._error(422, error)
+            return
+        elapsed_ms = (time.monotonic() - started) * 1e3
+        self._send_json(
+            200,
+            {
+                "result": result.to_dict(),
+                "cached": cached,
+                "elapsed_ms": elapsed_ms,
+            },
+        )
+
+
+def make_server(
+    service: QueryService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_requests: int | None = None,
+) -> ServiceHTTPServer:
+    """Bind (but do not start) the HTTP frontend for ``service``.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.server_address``.  Call ``serve_forever()`` to run, and
+    ``shutdown()`` from another thread to stop.
+    """
+    return ServiceHTTPServer((host, port), service, max_requests=max_requests)

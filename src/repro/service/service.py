@@ -1,0 +1,301 @@
+"""The concurrent query service: one shared engine, many callers.
+
+:class:`QueryService` turns the batch engine into a long-lived server
+component: a fixed pool of worker threads executes queries against one
+shared :class:`~repro.service.handle.EngineHandle`, a bounded admission
+budget sheds overload with typed errors instead of unbounded queueing, and
+a canonical-form result cache absorbs repeated queries.
+
+The programmatic surface is future-based so it embeds anywhere::
+
+    with QueryService.from_network(network, strategy="pm") as service:
+        future = service.submit('FIND OUTLIERS FROM ... TOP 5;')
+        result = service.result(future, timeout=5.0)
+
+``submit`` is non-blocking: it either returns a future (admitted, cache
+hit, or coalesced onto an identical in-flight request) or raises
+immediately (:class:`~repro.exceptions.ServiceOverloadedError` on a full
+queue, :class:`~repro.exceptions.QueryError` on a malformed query,
+:class:`~repro.exceptions.ServiceClosedError` after shutdown).  The HTTP
+frontend in :mod:`repro.service.http` is a thin JSON adapter over exactly
+this API.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+from repro.core.results import OutlierResult
+from repro.engine.deadline import Deadline
+from repro.hin.network import HeterogeneousInformationNetwork
+from repro.exceptions import ReproError, ServiceClosedError
+from repro.query.ast import Query
+from repro.service.admission import AdmissionController
+from repro.service.cache import ResultCache, canonical_query_key
+from repro.service.config import ServiceConfig
+from repro.service.handle import EngineHandle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.resilience import ResiliencePolicy
+
+__all__ = ["QueryService"]
+
+
+def _resolve(
+    future: "Future[OutlierResult]",
+    *,
+    result: OutlierResult | None = None,
+    error: BaseException | None = None,
+) -> None:
+    """Resolve a future exactly once; later attempts are no-ops.
+
+    A request can race between a worker finishing it, a non-drain close
+    abandoning it, and a caller cancelling it — whichever resolves first
+    wins; the others must not crash on ``InvalidStateError``.
+    """
+    try:
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+    except Exception:  # InvalidStateError: the race was lost, result stands
+        pass
+
+
+class QueryService:
+    """Admission-controlled, cached, concurrent execution of outlier queries.
+
+    Parameters
+    ----------
+    handle:
+        The shared engine (network + index + measure), already warmed.
+    config:
+        Deployment knobs; see :class:`~repro.service.config.ServiceConfig`.
+
+    Notes
+    -----
+    Lifecycle: the worker pool starts immediately; call :meth:`close` (or
+    use the service as a context manager) to drain and stop it.  After
+    ``close``, :meth:`submit` raises
+    :class:`~repro.exceptions.ServiceClosedError`; requests admitted before
+    the close still complete.
+    """
+
+    def __init__(
+        self, handle: EngineHandle, config: ServiceConfig | None = None
+    ) -> None:
+        self.handle = handle
+        self.config = config if config is not None else ServiceConfig()
+        self.admission = AdmissionController(self.config.capacity)
+        self.cache = ResultCache(
+            max_entries=self.config.cache_max_entries,
+            ttl_seconds=self.config.cache_ttl_seconds,
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-service",
+        )
+        self._lock = threading.Lock()
+        self._closed = False
+        #: Identical queries submitted while one is already executing share
+        #: its future instead of burning another admission slot.
+        self._pending: dict[str, Future] = {}
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._coalesced = 0
+        # Exponential moving average of request execution latency, the
+        # basis of the retry-after hint attached to shed requests.
+        self._latency_ewma: float | None = None
+
+    @classmethod
+    def from_network(
+        cls,
+        network: HeterogeneousInformationNetwork,
+        config: ServiceConfig | None = None,
+        *,
+        strategy: str = "pm",
+        measure: str = "netout",
+        combine: str = "score",
+        resilience: "ResiliencePolicy | None" = None,
+        row_cache_rows: int = 4096,
+    ) -> "QueryService":
+        """Build the engine handle and the service in one call."""
+        config = config if config is not None else ServiceConfig()
+        handle = EngineHandle(
+            network,
+            strategy=strategy,
+            measure=measure,
+            combine=combine,
+            resilience=resilience,
+            row_cache_rows=row_cache_rows,
+            collect_stats=config.collect_stats,
+        )
+        return cls(handle, config)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, query: str | Query) -> "Future[OutlierResult]":
+        """Submit one query; returns a future resolving to its result.
+
+        Order of gates, cheapest first:
+
+        1. **Canonicalize** — malformed queries raise
+           :class:`~repro.exceptions.QueryError` here, costing nothing.
+        2. **Cache** — a fresh same-version entry resolves immediately.
+        3. **Coalesce** — an identical in-flight query shares its future.
+        4. **Admit** — claim a bounded slot or shed with
+           :class:`~repro.exceptions.ServiceOverloadedError`.
+        """
+        key = canonical_query_key(query)
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError(
+                    "the query service has been shut down; no new requests"
+                )
+            self._submitted += 1
+            cached = self.cache.get(key, version=self.handle.version)
+            if cached is not None:
+                done: "Future[OutlierResult]" = Future()
+                done.set_result(cached)
+                return done
+            pending = self._pending.get(key)
+            if pending is not None:
+                self._coalesced += 1
+                return pending
+            self.admission.admit(retry_after_seconds=self._retry_after_hint())
+            future: "Future[OutlierResult]" = Future()
+            self._pending[key] = future
+            self._pool.submit(self._run, key, query, future)
+            return future
+
+    def execute(
+        self, query: str | Query, *, timeout: float | None = None
+    ) -> OutlierResult:
+        """Synchronous convenience: ``submit`` then wait for the result."""
+        return self.result(self.submit(query), timeout=timeout)
+
+    @staticmethod
+    def result(
+        future: "Future[OutlierResult]", *, timeout: float | None = None
+    ) -> OutlierResult:
+        """Wait for a submitted query's result (re-raising its error)."""
+        return future.result(timeout=timeout)
+
+    def invalidate_cache(self) -> int:
+        """Drop all cached results (e.g. after an out-of-band data change)."""
+        return self.cache.invalidate()
+
+    # ------------------------------------------------------------------
+    # Worker body
+    # ------------------------------------------------------------------
+    def _run(
+        self, key: str, query: str | Query, future: "Future[OutlierResult]"
+    ) -> None:
+        started = time.monotonic()
+        try:
+            deadline = (
+                Deadline(self.config.timeout_seconds)
+                if self.config.timeout_seconds is not None
+                else None
+            )
+            result = self.handle.execute(query, deadline=deadline)
+        except BaseException as error:  # noqa: BLE001 - forwarded to waiters
+            with self._lock:
+                self._failed += 1
+                self._pending.pop(key, None)
+            self.admission.release()
+            _resolve(future, error=error)
+            return
+        self.cache.put(key, result, version=self.handle.version)
+        elapsed = time.monotonic() - started
+        with self._lock:
+            self._completed += 1
+            self._pending.pop(key, None)
+            self._latency_ewma = (
+                elapsed
+                if self._latency_ewma is None
+                else 0.8 * self._latency_ewma + 0.2 * elapsed
+            )
+        self.admission.release()
+        _resolve(future, result=result)
+
+    def _retry_after_hint(self) -> float:
+        """Expected wait for a freed slot: queue drain time at recent pace."""
+        latency = self._latency_ewma if self._latency_ewma is not None else 0.05
+        waiting = max(1, self.admission.in_flight - self.config.workers + 1)
+        return max(0.01, latency * waiting / self.config.workers)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop accepting requests; optionally wait for in-flight ones.
+
+        Idempotent.  With ``drain=False`` queued-but-unstarted work is
+        cancelled (their futures raise ``CancelledError``).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            abandoned = [] if drain else list(self._pending.values())
+        self._pool.shutdown(wait=drain, cancel_futures=not drain)
+        # Without a drain, queued-but-unstarted requests never reach _run;
+        # fail their futures so no caller blocks forever on a dead service.
+        for future in abandoned:
+            _resolve(
+                future,
+                error=ServiceClosedError(
+                    "the query service shut down before this request ran"
+                ),
+            )
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """One JSON-safe snapshot of every service counter.
+
+        Shape: ``{"service": ..., "admission": ..., "cache": ...,
+        "engine": ...}`` — the HTTP frontend returns it verbatim from
+        ``GET /stats``.
+        """
+        with self._lock:
+            service = {
+                "workers": self.config.workers,
+                "queue_depth": self.config.queue_depth,
+                "timeout_seconds": self.config.timeout_seconds,
+                "closed": self._closed,
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "coalesced": self._coalesced,
+                "pending": len(self._pending),
+                "latency_ewma_seconds": self._latency_ewma,
+            }
+        engine = {
+            "fingerprint": self.handle.fingerprint,
+            "network_version": self.handle.version,
+            "index_size_bytes": self.handle.index_size_bytes(),
+        }
+        if self.handle.row_cache is not None:
+            engine["row_cache_hit_rate"] = self.handle.row_cache.hit_rate
+            engine["row_cache_rows"] = self.handle.row_cache.cached_rows
+        return {
+            "service": service,
+            "admission": self.admission.snapshot(),
+            "cache": self.cache.snapshot(),
+            "engine": engine,
+        }

@@ -58,6 +58,55 @@ class TestToCsv:
         assert len(rows) == 3
 
 
+class TestToDictFromDict:
+    def test_round_trip_scores_and_ranks(self, result):
+        back = OutlierResult.from_dict(result.to_dict())
+        assert back.outliers == result.outliers
+        assert back.scores == result.scores
+        assert back.candidate_count == 3
+        assert back.reference_count == 10
+        assert back.measure == "netout"
+
+    def test_payload_is_json_safe(self, result):
+        back = OutlierResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert back.names() == result.names()
+        assert back.scores == result.scores
+
+    def test_degradation_flags_round_trip(self):
+        vertex = VertexId("author", 0)
+        degraded = OutlierResult.from_scores(
+            {vertex: 1.0},
+            {vertex: "Alice"},
+            top_k=1,
+            reference_count=2,
+            degraded=True,
+            degradation_reason="served from the baseline rung",
+        )
+        back = OutlierResult.from_dict(degraded.to_dict())
+        assert back.degraded is True
+        assert back.degradation_reason == "served from the baseline rung"
+
+    def test_feature_scores_round_trip(self):
+        vertex = VertexId("author", 0)
+        result = OutlierResult.from_scores(
+            {vertex: 1.0},
+            {vertex: "Alice"},
+            top_k=1,
+            reference_count=2,
+            feature_scores={"author.paper.venue": {vertex: 0.25}},
+        )
+        back = OutlierResult.from_dict(result.to_dict())
+        assert back.feature_scores == {"author.paper.venue": {vertex: 0.25}}
+
+    def test_stats_are_excluded(self, result):
+        from repro.engine.stats import ExecutionStats
+
+        result.stats = ExecutionStats()
+        payload = result.to_dict()
+        assert "stats" not in payload
+        assert OutlierResult.from_dict(payload).stats is None
+
+
 class TestCliFormats:
     @pytest.fixture(scope="class")
     def corpus_path(self, tmp_path_factory):

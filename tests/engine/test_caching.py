@@ -127,3 +127,49 @@ class TestCachingStrategy:
         cold_misses = cached.misses
         executor.execute_many(list(workload), skip_failures=True)
         assert cached.misses == cold_misses  # second pass is all hits
+
+
+class TestConcurrency:
+    """Regression: the row cache is shared by the service's worker pool, so
+    concurrent hammering must stay consistent — exact counters, correct rows,
+    bounded size — with no torn LRU state."""
+
+    def test_concurrent_reads_consistent(self, figure1):
+        import threading
+
+        inner = BaselineStrategy(figure1)
+        cached = CachingStrategy(inner, max_rows=8)
+        num_authors = figure1.num_vertices("author")
+        expected = {
+            (path, i): inner.neighbor_row(path, i).toarray().tolist()
+            for path in (PV, PCA)
+            for i in range(num_authors)
+        }
+        calls_per_thread = 200
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def hammer(seed):
+            barrier.wait()
+            for call in range(calls_per_thread):
+                path = PV if (seed + call) % 2 else PCA
+                index = (seed * 7 + call) % num_authors
+                try:
+                    row = cached.neighbor_row(path, index)
+                    if row.toarray().tolist() != expected[(path, index)]:
+                        errors.append((path, index, "wrong row"))
+                except Exception as error:  # noqa: BLE001 - recorded for assert
+                    errors.append((path, index, error))
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        # Exact accounting: every call is either a hit or a miss, never lost.
+        assert cached.hits + cached.misses == 8 * calls_per_thread
+        assert cached.cached_rows <= 8

@@ -1,0 +1,126 @@
+"""Tests for :mod:`repro.service.admission` — bounded typed load shedding."""
+
+import threading
+
+import pytest
+
+from repro import faultinject
+from repro.exceptions import ServiceError, ServiceOverloadedError
+from repro.service.admission import AdmissionController
+
+
+class TestBudget:
+    def test_admits_up_to_capacity(self):
+        controller = AdmissionController(capacity=3)
+        for _ in range(3):
+            controller.admit()
+        assert controller.in_flight == 3
+
+    def test_sheds_beyond_capacity(self):
+        controller = AdmissionController(capacity=2)
+        controller.admit()
+        controller.admit()
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            controller.admit()
+        assert excinfo.value.queued == 2
+        assert excinfo.value.capacity == 2
+
+    def test_release_frees_a_slot(self):
+        controller = AdmissionController(capacity=1)
+        controller.admit()
+        with pytest.raises(ServiceOverloadedError):
+            controller.admit()
+        controller.release()
+        controller.admit()  # works again
+        assert controller.in_flight == 1
+
+    def test_release_without_admit_is_a_bug(self):
+        controller = AdmissionController(capacity=1)
+        with pytest.raises(ServiceError):
+            controller.release()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(capacity=0)
+
+
+class TestRetryHints:
+    def test_default_hint_attached(self):
+        controller = AdmissionController(capacity=1, retry_after_seconds=0.25)
+        controller.admit()
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            controller.admit()
+        assert excinfo.value.retry_after_seconds == 0.25
+
+    def test_per_call_hint_overrides_default(self):
+        controller = AdmissionController(capacity=1, retry_after_seconds=0.25)
+        controller.admit()
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            controller.admit(retry_after_seconds=1.5)
+        assert excinfo.value.retry_after_seconds == 1.5
+
+
+class TestCounters:
+    def test_exact_accounting(self):
+        controller = AdmissionController(capacity=2)
+        controller.admit()
+        controller.admit()
+        for _ in range(3):
+            with pytest.raises(ServiceOverloadedError):
+                controller.admit()
+        controller.release()
+        controller.admit()
+        snapshot = controller.snapshot()
+        assert snapshot["admitted"] == 3
+        assert snapshot["shed"] == 3
+        assert snapshot["faulted"] == 0
+        assert snapshot["in_flight"] == 2
+        assert snapshot["peak_in_flight"] == 2
+        assert snapshot["capacity"] == 2
+
+    def test_counters_exact_under_contention(self):
+        controller = AdmissionController(capacity=5)
+        outcomes = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(16)
+
+        def contend():
+            barrier.wait()
+            try:
+                controller.admit()
+            except ServiceOverloadedError:
+                with lock:
+                    outcomes.append("shed")
+            else:
+                with lock:
+                    outcomes.append("admitted")
+
+        threads = [threading.Thread(target=contend) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes.count("admitted") == 5
+        assert outcomes.count("shed") == 11
+        assert controller.in_flight == 5
+
+
+class TestFaultPoint:
+    """Satellite: the ``service.enqueue`` fault point converts an injected
+    queue stall into a typed shed, never a crash or a leaked slot."""
+
+    def test_enqueue_fault_sheds_typed(self):
+        controller = AdmissionController(capacity=4)
+        with faultinject.inject(faultinject.FaultRule(point="service.enqueue")):
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                controller.admit()
+        assert excinfo.value.retry_after_seconds > 0
+        snapshot = controller.snapshot()
+        assert snapshot["faulted"] == 1
+        assert snapshot["shed"] == 1
+        # The fault fired before the slot was claimed: no capacity leaked.
+        assert snapshot["in_flight"] == 0
+        controller.admit()  # recovers once the injection is gone
+
+    def test_enqueue_is_a_registered_fault_point(self):
+        assert "service.enqueue" in faultinject.FAULT_POINTS

@@ -1,0 +1,99 @@
+"""Concurrent batches over one shared engine match sequential execution.
+
+The thread-safety contract of :class:`~repro.service.handle.EngineHandle` is
+that everything shared is immutable after warm-up and everything mutable is
+per-request.  This test drives that contract the way the service does — many
+threads, one handle, one shared (locked) row cache — and requires bitwise
+agreement with a sequential reference run.
+"""
+
+import threading
+
+import pytest
+
+from repro.datagen.workloads import generate_query_set
+from repro.query.templates import TEMPLATE_Q1
+from repro.service import EngineHandle
+
+
+@pytest.fixture(scope="module")
+def shared_handle(request):
+    ego_corpus = request.getfixturevalue("ego_corpus")
+    return EngineHandle(ego_corpus.network, strategy="pm", row_cache_rows=512)
+
+
+@pytest.fixture(scope="module")
+def workload(request):
+    ego_corpus = request.getfixturevalue("ego_corpus")
+    return list(generate_query_set(ego_corpus.network, TEMPLATE_Q1, 8, seed=11))
+
+
+def summarize(batch):
+    """The comparable core of a batch: rankings, scores, error classes."""
+    return (
+        [
+            [(entry.vertex, entry.score, entry.rank) for entry in result]
+            for result in batch.results
+        ],
+        [dict(result.scores) for result in batch.results],
+        {index: type(error) for index, error in batch.errors.items()},
+    )
+
+
+class TestConcurrentBatches:
+    def test_concurrent_execute_many_matches_sequential(
+        self, shared_handle, workload
+    ):
+        reference = summarize(shared_handle.execute_many(workload))
+        num_threads = 6
+        outcomes = [None] * num_threads
+        failures = []
+        barrier = threading.Barrier(num_threads)
+
+        def run(slot):
+            barrier.wait()
+            try:
+                outcomes[slot] = summarize(shared_handle.execute_many(workload))
+            except Exception as error:  # noqa: BLE001 - recorded for assert
+                failures.append(error)
+
+        threads = [
+            threading.Thread(target=run, args=(slot,))
+            for slot in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert failures == []
+        for outcome in outcomes:
+            assert outcome == reference
+
+    def test_concurrent_single_queries_match_sequential(
+        self, shared_handle, workload
+    ):
+        expected = {
+            query: shared_handle.execute(query).names() for query in workload
+        }
+        mismatches = []
+        barrier = threading.Barrier(8)
+
+        def run(seed):
+            barrier.wait()
+            for step in range(len(workload) * 2):
+                query = workload[(seed + step) % len(workload)]
+                try:
+                    names = shared_handle.execute(query).names()
+                except Exception as error:  # noqa: BLE001
+                    mismatches.append((query, error))
+                    continue
+                if names != expected[query]:
+                    mismatches.append((query, names))
+
+        threads = [threading.Thread(target=run, args=(seed,)) for seed in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert mismatches == []

@@ -1,0 +1,185 @@
+"""Tests for :mod:`repro.service.http` — the stdlib JSON frontend."""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro import faultinject
+from repro.service import QueryService, ServiceConfig, make_server
+
+QUERY = (
+    'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+    "JUDGED BY author.paper.venue TOP 3;"
+)
+
+
+@pytest.fixture()
+def served(figure1):
+    """A live server on an ephemeral port; yields (host, port, service)."""
+    service = QueryService.from_network(
+        figure1, ServiceConfig(workers=2), strategy="baseline"
+    )
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield host, port, service
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)
+        service.close()
+
+
+def request(host, port, method, path, body=None, headers=None):
+    connection = http.client.HTTPConnection(host, port, timeout=10.0)
+    try:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        connection.request(method, path, body=payload, headers=headers or {})
+        response = connection.getresponse()
+        return (
+            response.status,
+            dict(response.getheaders()),
+            json.loads(response.read()),
+        )
+    finally:
+        connection.close()
+
+
+class TestGetEndpoints:
+    def test_healthz(self, served):
+        host, port, service = served
+        status, _, payload = request(host, port, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["engine"] == service.handle.fingerprint
+
+    def test_stats(self, served):
+        host, port, _ = served
+        status, _, payload = request(host, port, "GET", "/stats")
+        assert status == 200
+        assert set(payload) == {"service", "admission", "cache", "engine"}
+
+    def test_schema(self, served):
+        host, port, _ = served
+        status, _, payload = request(host, port, "GET", "/schema")
+        assert status == 200
+        assert set(payload["vertex_types"]) == {
+            "author", "paper", "venue", "term"
+        }
+        assert "author-paper" in payload["edge_types"]
+
+    def test_unknown_path_404(self, served):
+        host, port, _ = served
+        status, _, payload = request(host, port, "GET", "/nope")
+        assert status == 404
+        assert payload["error"]["type"] == "NotFound"
+
+
+class TestQueryEndpoint:
+    def test_query_success_and_cached_flag(self, served):
+        host, port, _ = served
+        status, _, first = request(
+            host, port, "POST", "/query", body={"query": QUERY}
+        )
+        assert status == 200
+        assert first["cached"] is False
+        assert len(first["result"]["outliers"]) == 3
+        assert first["result"]["measure"] == "netout"
+        status, _, second = request(
+            host, port, "POST", "/query", body={"query": QUERY}
+        )
+        assert status == 200
+        assert second["cached"] is True
+        assert second["result"] == first["result"]
+
+    def test_post_unknown_path_404(self, served):
+        host, port, _ = served
+        status, _, _ = request(host, port, "POST", "/nope", body={})
+        assert status == 404
+
+    def test_malformed_json_400(self, served):
+        host, port, _ = served
+        connection = http.client.HTTPConnection(host, port, timeout=10.0)
+        try:
+            connection.request("POST", "/query", body=b"{not json")
+            response = connection.getresponse()
+            assert response.status == 400
+            response.read()
+        finally:
+            connection.close()
+
+    def test_missing_query_field_400(self, served):
+        host, port, _ = served
+        status, _, payload = request(host, port, "POST", "/query", body={})
+        assert status == 400
+        assert "error" in payload
+
+    def test_non_string_query_400(self, served):
+        host, port, _ = served
+        status, _, _ = request(
+            host, port, "POST", "/query", body={"query": 7}
+        )
+        assert status == 400
+
+    def test_syntax_error_400(self, served):
+        host, port, _ = served
+        status, _, payload = request(
+            host, port, "POST", "/query", body={"query": "FIND gibberish"}
+        )
+        assert status == 400
+        assert payload["error"]["type"] == "QuerySyntaxError"
+
+    def test_unservable_query_422(self, served):
+        host, port, _ = served
+        ghost = QUERY.replace("Zoe", "Ghost")
+        status, _, payload = request(
+            host, port, "POST", "/query", body={"query": ghost}
+        )
+        assert status == 422
+        assert payload["error"]["type"] == "VertexNotFoundError"
+
+    def test_overload_429_with_retry_after(self, served):
+        """Deterministic shed: the ``service.enqueue`` fault point stalls the
+        admission queue, so the frontend must answer 429 + Retry-After."""
+        host, port, _ = served
+        rule = faultinject.FaultRule(point="service.enqueue")
+        with faultinject.inject(rule):
+            status, headers, payload = request(
+                host, port, "POST", "/query", body={"query": QUERY}
+            )
+        assert status == 429
+        assert payload["error"]["type"] == "ServiceOverloadedError"
+        assert float(headers["Retry-After"]) > 0
+
+    def test_closed_service_503(self, served):
+        host, port, service = served
+        service.close()
+        status, _, payload = request(
+            host, port, "POST", "/query", body={"query": QUERY}
+        )
+        assert status == 503
+        assert payload["error"]["type"] == "ServiceClosedError"
+
+
+class TestMaxRequests:
+    def test_server_stops_after_limit(self, figure1):
+        service = QueryService.from_network(
+            figure1, ServiceConfig(workers=1), strategy="baseline"
+        )
+        server = make_server(service, max_requests=2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            request(host, port, "GET", "/healthz")
+            request(host, port, "GET", "/healthz")
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+            assert server.served_count == 2
+        finally:
+            server.server_close()
+            service.close()

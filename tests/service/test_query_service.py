@@ -1,0 +1,246 @@
+"""Tests for :mod:`repro.service.service` — futures, caching, overload, close."""
+
+import threading
+
+import pytest
+
+from repro.core.results import OutlierResult
+from repro.exceptions import (
+    DeadlineExceededError,
+    QuerySyntaxError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.service import EngineHandle, QueryService, ServiceConfig
+
+QUERY = (
+    'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+    "JUDGED BY author.paper.venue TOP 3;"
+)
+OTHER_QUERY = (
+    'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+    "JUDGED BY author.paper.venue TOP 2;"
+)
+
+
+class GatedHandle:
+    """Delegates to a real handle, but blocks every execute on a gate —
+    makes 'a request is mid-flight' a deterministic test state."""
+
+    def __init__(self, inner: EngineHandle) -> None:
+        self._inner = inner
+        self.gate = threading.Event()
+        self.started = threading.Event()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def execute(self, query, *, deadline=None):
+        self.started.set()
+        assert self.gate.wait(10.0), "test gate never opened"
+        return self._inner.execute(query, deadline=deadline)
+
+
+@pytest.fixture()
+def handle(figure1):
+    return EngineHandle(figure1, strategy="baseline", row_cache_rows=64)
+
+
+class TestWarmUp:
+    def test_warm_reaches_ladder_beneath_row_cache(self, figure1):
+        """Regression: with a resilience policy the fallback ladder sits
+        *under* the row-cache wrapper; warm-up must still force its rung
+        build, or the first concurrent requests race on it."""
+        from repro.engine.resilience import ResiliencePolicy
+
+        warmed = EngineHandle(
+            figure1,
+            strategy="pm",
+            resilience=ResiliencePolicy(timeout_seconds=30.0),
+            row_cache_rows=64,
+        )
+        assert warmed.fingerprint.startswith("cached-resilient/")
+        # A PM rung holds real matrices; 0 would mean the build is still
+        # pending its first query.
+        assert warmed.index_size_bytes() > 0
+
+
+class TestSubmitAndExecute:
+    def test_submit_returns_future_with_result(self, handle):
+        with QueryService(handle, ServiceConfig(workers=2)) as service:
+            future = service.submit(QUERY)
+            result = service.result(future, timeout=10.0)
+        assert isinstance(result, OutlierResult)
+        assert len(result) == 3
+
+    def test_execute_matches_direct_engine(self, handle, figure1):
+        direct = handle.execute(QUERY)
+        with QueryService(handle, ServiceConfig(workers=2)) as service:
+            served = service.execute(QUERY, timeout=10.0)
+        assert served.names() == direct.names()
+        assert served.scores == direct.scores
+
+    def test_malformed_query_raises_before_admission(self, handle):
+        with QueryService(handle, ServiceConfig(workers=1)) as service:
+            with pytest.raises(QuerySyntaxError):
+                service.submit("FIND gibberish")
+            assert service.admission.snapshot()["admitted"] == 0
+
+    def test_from_network_convenience(self, figure1):
+        with QueryService.from_network(
+            figure1, ServiceConfig(workers=1), strategy="baseline"
+        ) as service:
+            assert len(service.execute(QUERY, timeout=10.0)) == 3
+
+
+class TestResultCacheIntegration:
+    def test_second_submit_is_a_resolved_future(self, handle):
+        with QueryService(handle, ServiceConfig(workers=2)) as service:
+            first = service.execute(QUERY, timeout=10.0)
+            future = service.submit(QUERY)
+            assert future.done()  # cache hit: no execution round-trip
+            assert future.result() is first
+            assert service.cache.hits == 1
+
+    def test_textual_variant_hits_the_same_entry(self, handle):
+        sloppy = (
+            "find  outliers from author{\"Zoe\"} . paper . author\n"
+            "judged by author.paper.venue top 3 ;"
+        )
+        with QueryService(handle, ServiceConfig(workers=2)) as service:
+            service.execute(QUERY, timeout=10.0)
+            assert service.submit(sloppy).done()
+
+    def test_network_mutation_invalidates(self, handle, figure1):
+        with QueryService(handle, ServiceConfig(workers=2)) as service:
+            service.execute(QUERY, timeout=10.0)
+            figure1.add_vertex("venue", "NEWVENUE")  # version bump
+            future = service.submit(QUERY)
+            assert not future.done()
+            service.result(future, timeout=10.0)
+            assert service.cache.invalidations == 1
+
+    def test_invalidate_cache(self, handle):
+        with QueryService(handle, ServiceConfig(workers=2)) as service:
+            service.execute(QUERY, timeout=10.0)
+            assert service.invalidate_cache() == 1
+            assert not service.submit(QUERY).done()
+
+    def test_disabled_cache_reexecutes(self, handle):
+        config = ServiceConfig(workers=2, cache_max_entries=0)
+        with QueryService(handle, config) as service:
+            service.execute(QUERY, timeout=10.0)
+            assert not service.submit(QUERY).done()
+
+
+class TestCoalescing:
+    def test_identical_inflight_queries_share_a_future(self, figure1):
+        gated = GatedHandle(EngineHandle(figure1, strategy="baseline"))
+        service = QueryService(gated, ServiceConfig(workers=1))
+        try:
+            first = service.submit(QUERY)
+            assert gated.started.wait(10.0)
+            second = service.submit(QUERY)
+            assert second is first
+            assert service.stats()["service"]["coalesced"] == 1
+            # One admission slot for the pair, not two.
+            assert service.admission.snapshot()["admitted"] == 1
+            gated.gate.set()
+            assert len(service.result(first, timeout=10.0)) == 3
+        finally:
+            gated.gate.set()
+            service.close()
+
+
+class TestOverload:
+    def test_full_queue_sheds_typed(self, figure1):
+        gated = GatedHandle(EngineHandle(figure1, strategy="baseline"))
+        service = QueryService(gated, ServiceConfig(workers=1, queue_depth=0))
+        try:
+            first = service.submit(QUERY)
+            assert gated.started.wait(10.0)
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                service.submit(OTHER_QUERY)
+            assert excinfo.value.retry_after_seconds > 0
+            assert service.admission.snapshot()["shed"] == 1
+            # The shed did not corrupt the in-flight request.
+            gated.gate.set()
+            assert len(service.result(first, timeout=10.0)) == 3
+            # With the slot free again, the shed query now runs fine.
+            assert len(service.execute(OTHER_QUERY, timeout=10.0)) == 2
+        finally:
+            gated.gate.set()
+            service.close()
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self, handle):
+        service = QueryService(handle, ServiceConfig(workers=1))
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(QUERY)
+
+    def test_close_is_idempotent(self, handle):
+        service = QueryService(handle, ServiceConfig(workers=1))
+        service.close()
+        service.close()
+        assert service.closed
+
+    def test_drain_close_completes_inflight_work(self, figure1):
+        gated = GatedHandle(EngineHandle(figure1, strategy="baseline"))
+        service = QueryService(gated, ServiceConfig(workers=1))
+        future = service.submit(QUERY)
+        assert gated.started.wait(10.0)
+        closer = threading.Thread(target=service.close)
+        closer.start()
+        gated.gate.set()
+        closer.join(timeout=10.0)
+        assert not closer.is_alive()
+        assert len(future.result(timeout=10.0)) == 3
+
+    def test_nondrain_close_fails_queued_requests(self, figure1):
+        gated = GatedHandle(EngineHandle(figure1, strategy="baseline"))
+        service = QueryService(gated, ServiceConfig(workers=1, queue_depth=8))
+        try:
+            service.submit(QUERY)
+            assert gated.started.wait(10.0)
+            queued = service.submit(OTHER_QUERY)  # waits behind the gate
+            service.close(drain=False)
+            with pytest.raises(ServiceClosedError):
+                queued.result(timeout=10.0)
+        finally:
+            gated.gate.set()
+
+    def test_per_request_deadline_surfaces(self, handle):
+        config = ServiceConfig(workers=1, timeout_seconds=1e-9)
+        with QueryService(handle, config) as service:
+            future = service.submit(QUERY)
+            with pytest.raises(DeadlineExceededError):
+                service.result(future, timeout=10.0)
+            assert service.stats()["service"]["failed"] == 1
+            # A failed request must release its admission slot.
+            assert service.admission.in_flight == 0
+
+
+class TestStats:
+    def test_snapshot_shape_and_counts(self, handle):
+        with QueryService(handle, ServiceConfig(workers=2)) as service:
+            service.execute(QUERY, timeout=10.0)
+            service.execute(QUERY, timeout=10.0)  # cached
+            stats = service.stats()
+        assert set(stats) == {"service", "admission", "cache", "engine"}
+        assert stats["service"]["submitted"] == 2
+        assert stats["service"]["completed"] == 1
+        assert stats["service"]["failed"] == 0
+        assert stats["cache"]["hits"] == 1
+        assert stats["admission"]["admitted"] == 1
+        assert stats["engine"]["fingerprint"].startswith("cached-baseline/")
+        assert stats["engine"]["index_size_bytes"] >= 0
+        assert stats["engine"]["network_version"] == handle.version
+
+    def test_stats_are_json_safe(self, handle):
+        import json
+
+        with QueryService(handle, ServiceConfig(workers=1)) as service:
+            service.execute(QUERY, timeout=10.0)
+            json.dumps(service.stats())

@@ -1,0 +1,137 @@
+"""Tests for :mod:`repro.service.cache` — canonical keys, TTL, versioning."""
+
+import pytest
+
+from repro.core.results import OutlierResult
+from repro.exceptions import QuerySyntaxError, ServiceError
+from repro.hin.network import VertexId
+from repro.query.parser import parse_query
+from repro.service.cache import ResultCache, canonical_query_key
+
+QUERY = (
+    'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+    "JUDGED BY author.paper.venue TOP 3;"
+)
+
+
+def make_result(tag: str = "r") -> OutlierResult:
+    vertex = VertexId("author", 0)
+    return OutlierResult.from_scores(
+        {vertex: 1.0}, {vertex: tag}, top_k=1, reference_count=1
+    )
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCanonicalKey:
+    def test_textual_variants_share_a_key(self):
+        sloppy = (
+            "find  outliers from author { \"Zoe\" } . paper.author\n"
+            "JUDGED   BY author.paper.venue top 3 ;"
+        )
+        assert canonical_query_key(sloppy) == canonical_query_key(QUERY)
+
+    def test_ast_and_text_share_a_key(self):
+        assert canonical_query_key(parse_query(QUERY)) == canonical_query_key(
+            QUERY
+        )
+
+    def test_different_queries_differ(self):
+        other = QUERY.replace("TOP 3", "TOP 5")
+        assert canonical_query_key(other) != canonical_query_key(QUERY)
+
+    def test_malformed_query_raises_before_caching(self):
+        with pytest.raises(QuerySyntaxError):
+            canonical_query_key("FIND gibberish")
+
+
+class TestLookup:
+    def test_hit_after_put(self):
+        cache = ResultCache()
+        result = make_result()
+        cache.put("k", result, version=1)
+        assert cache.get("k", version=1) is result
+        assert cache.hits == 1
+
+    def test_miss_on_absent_key(self):
+        cache = ResultCache()
+        assert cache.get("k", version=1) is None
+        assert cache.misses == 1
+
+    def test_version_mismatch_invalidates(self):
+        cache = ResultCache()
+        cache.put("k", make_result(), version=1)
+        assert cache.get("k", version=2) is None
+        assert cache.invalidations == 1
+        assert len(cache) == 0  # the stale entry is gone, not just skipped
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_seconds=10.0, clock=clock)
+        cache.put("k", make_result(), version=1)
+        clock.now = 9.999
+        assert cache.get("k", version=1) is not None
+        clock.now = 10.0
+        assert cache.get("k", version=1) is None
+        assert cache.expirations == 1
+
+    def test_no_ttl_means_no_expiry(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_seconds=None, clock=clock)
+        cache.put("k", make_result(), version=1)
+        clock.now = 1e9
+        assert cache.get("k", version=1) is not None
+
+
+class TestEvictionAndInvalidation:
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2, ttl_seconds=None)
+        cache.put("a", make_result("a"), version=1)
+        cache.put("b", make_result("b"), version=1)
+        cache.get("a", version=1)  # refresh a
+        cache.put("c", make_result("c"), version=1)  # evicts b, not a
+        assert cache.get("a", version=1) is not None
+        assert cache.get("b", version=1) is None
+        assert cache.evictions == 1
+
+    def test_explicit_invalidate(self):
+        cache = ResultCache()
+        cache.put("a", make_result(), version=1)
+        cache.put("b", make_result(), version=1)
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+        assert cache.get("a", version=1) is None
+
+    def test_disabled_cache_never_stores(self):
+        cache = ResultCache(max_entries=0)
+        assert not cache.enabled
+        cache.put("k", make_result(), version=1)
+        assert cache.get("k", version=1) is None
+        assert len(cache) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ServiceError):
+            ResultCache(max_entries=-1)
+        with pytest.raises(ServiceError):
+            ResultCache(ttl_seconds=-1.0)
+
+
+class TestSnapshot:
+    def test_snapshot_counters(self):
+        cache = ResultCache(max_entries=8, ttl_seconds=None)
+        cache.put("k", make_result(), version=1)
+        cache.get("k", version=1)
+        cache.get("missing", version=1)
+        snapshot = cache.snapshot()
+        assert snapshot["enabled"] is True
+        assert snapshot["entries"] == 1
+        assert snapshot["hits"] == 1
+        assert snapshot["misses"] == 1
+        assert snapshot["hit_rate"] == pytest.approx(0.5)
+        assert cache.hit_rate == pytest.approx(0.5)

@@ -167,3 +167,68 @@ class TestShell:
     def test_eof_terminates(self, corpus_path):
         code, __ = run(["shell", "--network", corpus_path], "")
         assert code == 0
+
+
+class TestServe:
+    def test_serve_answers_http_and_stops_at_limit(self, corpus_path):
+        import http.client
+        import json
+        import re
+        import threading
+        import time
+
+        out = io.StringIO()
+        outcome = {}
+
+        def run_server():
+            outcome["code"] = main(
+                [
+                    "serve",
+                    "--network", corpus_path,
+                    "--port", "0",
+                    "--workers", "2",
+                    "--max-requests", "3",
+                ],
+                out=out,
+            )
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        # The banner line (flushed before serve_forever) carries the
+        # ephemeral port.
+        deadline = time.monotonic() + 30.0
+        match = None
+        while match is None and time.monotonic() < deadline:
+            match = re.search(r"http://([\d.]+):(\d+)", out.getvalue())
+            if match is None:
+                time.sleep(0.05)
+        assert match is not None, f"no serving banner in: {out.getvalue()!r}"
+        host, port = match.group(1), int(match.group(2))
+
+        def post_query():
+            connection = http.client.HTTPConnection(host, port, timeout=30.0)
+            try:
+                connection.request(
+                    "POST",
+                    "/query",
+                    body=json.dumps({"query": QUERY}).encode("utf-8"),
+                )
+                response = connection.getresponse()
+                return response.status, json.loads(response.read())
+            finally:
+                connection.close()
+
+        status, first = post_query()
+        assert status == 200
+        assert first["cached"] is False
+        assert len(first["result"]["outliers"]) == 5
+        status, second = post_query()
+        assert status == 200
+        assert second["cached"] is True
+        status, payload = post_query()  # third request hits --max-requests
+        assert status == 200
+
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert outcome["code"] == 0
+        assert "served 3 requests; shut down cleanly" in out.getvalue()

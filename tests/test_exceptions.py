@@ -24,6 +24,9 @@ from repro.exceptions import (
     ReproError,
     ResourceLimitError,
     SchemaError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
     TransientFaultError,
     VertexNotFoundError,
 )
@@ -122,6 +125,28 @@ def raise_transient_fault():
         faultinject.check("io")
 
 
+def raise_service_overloaded():
+    from repro.service.admission import AdmissionController
+
+    controller = AdmissionController(capacity=1)
+    controller.admit()
+    controller.admit()  # over budget: shed
+
+
+def raise_service_closed():
+    from repro.datagen.fixtures import figure1_network
+    from repro.service import QueryService, ServiceConfig
+
+    service = QueryService.from_network(
+        figure1_network(), ServiceConfig(workers=1)
+    )
+    service.close()
+    service.submit(
+        'FIND OUTLIERS FROM author{"Zoe"}.paper.author '
+        "JUDGED BY author.paper.venue TOP 3;"
+    )
+
+
 RAISERS = {
     SchemaError: raise_schema_error,
     NetworkError: raise_network_error,
@@ -135,6 +160,8 @@ RAISERS = {
     ResourceLimitError: raise_resource_limit,
     CircuitOpenError: raise_circuit_open,
     TransientFaultError: raise_transient_fault,
+    ServiceOverloadedError: raise_service_overloaded,
+    ServiceClosedError: raise_service_closed,
 }
 
 
@@ -142,12 +169,17 @@ class TestHierarchyCoverage:
     def test_every_public_exception_has_a_raiser(self):
         """The table above stays in sync with ``repro.exceptions.__all__``.
 
-        ``ReproError`` and ``QueryError`` are abstract groupings (their
-        subclasses are raised instead); ``DegradedResultWarning`` is a
-        warning, covered separately.
+        ``ReproError``, ``QueryError`` and ``ServiceError`` are abstract
+        groupings (their subclasses are raised instead);
+        ``DegradedResultWarning`` is a warning, covered separately.
         """
         covered = {cls.__name__ for cls in RAISERS}
-        covered |= {"ReproError", "QueryError", "DegradedResultWarning"}
+        covered |= {
+            "ReproError",
+            "QueryError",
+            "ServiceError",
+            "DegradedResultWarning",
+        }
         assert covered == set(exceptions_module.__all__)
 
     @pytest.mark.parametrize(
@@ -168,6 +200,23 @@ class TestHierarchyCoverage:
         for raiser in (raise_query_syntax_error, raise_query_semantic_error):
             with pytest.raises(QueryError):
                 raiser()
+
+    def test_service_errors_share_the_service_base(self):
+        """Service failures are operational, not executional: they subclass
+        ``ServiceError`` directly under ``ReproError``, so engine-level
+        ``except ExecutionError`` handlers do not swallow overload sheds."""
+        for cls in (ServiceOverloadedError, ServiceClosedError):
+            assert issubclass(cls, ServiceError)
+            assert not issubclass(cls, ExecutionError)
+            with pytest.raises(ServiceError):
+                RAISERS[cls]()
+
+    def test_overload_error_carries_retry_hint(self):
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            raise_service_overloaded()
+        assert excinfo.value.retry_after_seconds > 0
+        assert excinfo.value.capacity == 1
+        assert excinfo.value.queued == 1
 
     def test_resilience_errors_are_execution_errors(self):
         """The resilience subtree hangs off ExecutionError, so pre-existing

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.datagen",
     "repro.relational",
     "repro.kg",
+    "repro.service",
     "repro.utils",
 ]
 
@@ -81,6 +82,7 @@ def test_documented_entry_points_exist():
     from repro.kg import KnowledgeGraph  # noqa: F401
     from repro.relational import database_to_hin  # noqa: F401
     from repro.report import write_html_report  # noqa: F401
+    from repro.service import EngineHandle, QueryService  # noqa: F401
     from repro.viz import score_distribution  # noqa: F401
 
 
