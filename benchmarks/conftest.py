@@ -15,6 +15,7 @@ substitution rationale.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -90,3 +91,20 @@ def write_report(name: str, text: str) -> None:
 @pytest.fixture(scope="session")
 def report():
     return write_report
+
+
+def write_json_report(name: str, payload: dict) -> None:
+    """Persist a machine-readable benchmark baseline under ``benchmarks/out/``.
+
+    Text reports are for humans; JSON baselines let CI (and future
+    sessions) diff benchmark results without parsing tables.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+@pytest.fixture(scope="session")
+def json_report():
+    return write_json_report

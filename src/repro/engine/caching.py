@@ -17,15 +17,42 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+import numpy as np
 from scipy import sparse
 
 from repro import faultinject
-from repro.engine.strategies import MaterializationStrategy
+from repro.engine.strategies import MaterializationStrategy, _stitch_rows
 from repro.exceptions import ExecutionError, TransientFaultError
 from repro.metapath.metapath import MetaPath
 from repro.utils.sparsetools import sparse_row_bytes
 
 __all__ = ["CachingStrategy"]
+
+
+def _split_rows(block: sparse.csr_matrix) -> list[sparse.csr_matrix]:
+    """Slice a CSR block into independent 1 x n rows via raw indptr views.
+
+    Each row copies its own data/indices slices so cached rows never pin
+    the whole source block in memory.  This is cache *bookkeeping* (cheap
+    array slicing), not materialization — the expensive work already
+    happened in one bulk block computation.
+    """
+    width = block.shape[1]
+    indptr, indices, data = block.indptr, block.indices, block.data
+    rows = []
+    for position in range(block.shape[0]):
+        start, stop = int(indptr[position]), int(indptr[position + 1])
+        rows.append(
+            sparse.csr_matrix(
+                (
+                    data[start:stop].copy(),
+                    indices[start:stop].copy(),
+                    np.array([0, stop - start], dtype=np.int64),
+                ),
+                shape=(1, width),
+            )
+        )
+    return rows
 
 
 class CachingStrategy(MaterializationStrategy):
@@ -49,6 +76,11 @@ class CachingStrategy(MaterializationStrategy):
     worker pool.  Misses materialize *outside* the lock — concurrent misses
     never serialize on each other, at worst both compute the same row and
     the second insert wins.
+
+    Bulk requests (``neighbor_matrix``) use a batch protocol per block:
+    one lock acquisition gathers every cached row, all misses compute in a
+    single bulk call to the inner strategy, and one more lock acquisition
+    inserts the new rows — so a warm service worker never loops per vertex.
     """
 
     def __init__(self, inner: MaterializationStrategy, *, max_rows: int = 4096) -> None:
@@ -100,6 +132,68 @@ class CachingStrategy(MaterializationStrategy):
             if len(self._rows) > self.max_rows:
                 self._rows.popitem(last=False)
         return row
+
+    def _materialize_block(self, path, vertex_indices, stats) -> sparse.csr_matrix:
+        """Batch interface: gather hits, compute all misses in one block.
+
+        One lock acquisition partitions the block into cached rows and
+        misses (and runs a single per-block ``cache_read`` fault check);
+        the misses materialize **outside** the lock with one bulk
+        ``inner.neighbor_matrix`` call; a second single lock acquisition
+        inserts every new row.  Hits cost (and record) nothing, exactly
+        like the row-at-a-time path.
+        """
+        hit_positions: list[int] = []
+        hit_rows: list[sparse.csr_matrix] = []
+        miss_positions: list[int] = []
+        miss_indices: list[int] = []
+        with self._lock:
+            if self.network.version != self._cached_version:
+                self._rows.clear()
+                self._cached_version = self.network.version
+            cached = [self._rows.get((path, int(i))) for i in vertex_indices]
+            if any(row is not None for row in cached):
+                try:
+                    # One fault check per block (not per row): a transient
+                    # cache fault drops the whole block's hits and recomputes
+                    # them as misses — self-healing, never an error.
+                    faultinject.check("cache_read")
+                except TransientFaultError:
+                    for position, row in enumerate(cached):
+                        if row is not None:
+                            self._rows.pop((path, int(vertex_indices[position])), None)
+                            self.faulted_reads += 1
+                    cached = [None] * len(cached)
+            for position, row in enumerate(cached):
+                if row is None:
+                    miss_positions.append(position)
+                    miss_indices.append(int(vertex_indices[position]))
+                else:
+                    self._rows.move_to_end((path, int(vertex_indices[position])))
+                    self.hits += 1
+                    hit_positions.append(position)
+                    hit_rows.append(row)
+        parts: list[tuple[np.ndarray, sparse.csr_matrix]] = []
+        if hit_rows:
+            hit_block = (
+                hit_rows[0]
+                if len(hit_rows) == 1
+                else sparse.vstack(hit_rows, format="csr")
+            )
+            parts.append((np.asarray(hit_positions, dtype=np.int64), hit_block))
+        if miss_indices:
+            # Bulk miss computation outside the lock: concurrent blocks
+            # never serialize on each other; duplicated work is bounded by
+            # one block and the last insert wins.
+            miss_block = self.inner.neighbor_matrix(path, miss_indices, stats)
+            with self._lock:
+                self.misses += len(miss_indices)
+                for vertex, row in zip(miss_indices, _split_rows(miss_block)):
+                    self._rows[(path, vertex)] = row
+                while len(self._rows) > self.max_rows:
+                    self._rows.popitem(last=False)
+            parts.append((np.asarray(miss_positions, dtype=np.int64), miss_block))
+        return _stitch_rows(parts, len(vertex_indices))
 
     def index_size_bytes(self) -> int:
         """Inner index bytes plus the cache's current row storage."""

@@ -17,6 +17,7 @@ from typing import Callable
 import numpy as np
 from scipy import sparse
 
+from repro.engine.deadline import check_deadline
 from repro.engine.stats import ExecutionStats
 from repro.engine.strategies import MaterializationStrategy
 from repro.exceptions import ExecutionError
@@ -80,6 +81,10 @@ class SetEvaluator:
             On structurally invalid expressions that slipped past semantic
             validation (defensive).
         """
+        # One cooperative check per set-expression node: set retrieval can
+        # walk large frontiers, and block-granular materialization checks
+        # alone would be too sparse on small expressions.
+        check_deadline("set evaluation")
         if isinstance(expression, Chain):
             return self._evaluate_chain(expression)
         if isinstance(expression, SetOperation):
@@ -188,13 +193,13 @@ class SetEvaluator:
         compare = _COMPARATORS.get(comparison.operator)
         if compare is None:  # pragma: no cover - parser restricts operators
             raise ExecutionError(f"unknown comparison operator {comparison.operator!r}")
-        values = np.empty(len(members), dtype=float)
-        for position, member in enumerate(members):
-            row = self.strategy.neighbor_row(path, member, self.stats)
-            if comparison.function == "COUNT":
-                values[position] = row.nnz
-            else:  # PATHS: total instance count, ‖φ‖₁.
-                values[position] = float(row.sum())
+        # One bulk materialization for every member: COUNT is the per-row
+        # stored-element count (indptr differences), PATHS the per-row sum.
+        block = self.strategy.neighbor_matrix(path, members, self.stats)
+        if comparison.function == "COUNT":
+            values = np.diff(block.indptr).astype(float)
+        else:  # PATHS: total instance count, ‖φ‖₁.
+            values = np.asarray(block.sum(axis=1)).ravel().astype(float)
         return np.fromiter(
             (compare(value, comparison.value) for value in values),
             dtype=bool,

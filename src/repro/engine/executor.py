@@ -330,6 +330,7 @@ class QueryExecutor:
             phi_reference: sparse.csr_matrix = phi_candidates
         else:
             phi_reference = self.strategy.neighbor_matrix(feature.path, reference, stats)
+        check_deadline("outlierness scoring")
         if stats is None:
             return self.measure.score(phi_candidates, phi_reference)
         with stats.timer.phase(PHASE_SCORING):

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
 from scipy import sparse
 
 from repro import faultinject
@@ -39,6 +40,15 @@ class MetaPathIndex:
     def __init__(self) -> None:
         self._full: dict[MetaPath, sparse.csr_matrix] = {}
         self._partial: dict[MetaPath, dict[int, sparse.csr_matrix]] = {}
+        # Lazily-built bulk view of a partial store: (stacked row matrix,
+        # vertex index -> stacked row position as a dense inverse array).
+        # Invalidated on store_row.
+        self._partial_stacked: dict[
+            MetaPath, tuple[sparse.csr_matrix, np.ndarray]
+        ] = {}
+        # Lazily-built per-path boolean coverage masks (vertex index ->
+        # stored?), keyed by (path, width).  Invalidated on store calls.
+        self._coverage: dict[tuple[MetaPath, int], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Population
@@ -48,6 +58,8 @@ class MetaPathIndex:
         self._full[path] = matrix.tocsr()
         # A full matrix supersedes any partial rows for the same path.
         self._partial.pop(path, None)
+        self._partial_stacked.pop(path, None)
+        self._invalidate_coverage(path)
 
     def store_row(self, path: MetaPath, vertex_index: int, row: sparse.spmatrix) -> None:
         """Store one vertex's row of ``path`` (SPM-style partial coverage)."""
@@ -62,6 +74,12 @@ class MetaPathIndex:
                 f"expected a single row for {path}, got shape {csr.shape}"
             )
         self._partial.setdefault(path, {})[vertex_index] = csr
+        self._partial_stacked.pop(path, None)
+        self._invalidate_coverage(path)
+
+    def _invalidate_coverage(self, path: MetaPath) -> None:
+        for key in [key for key in self._coverage if key[0] == path]:
+            del self._coverage[key]
 
     # ------------------------------------------------------------------
     # Lookup
@@ -87,6 +105,93 @@ class MetaPathIndex:
         if full is not None:
             return 0 <= vertex_index < full.shape[0]
         return vertex_index in self._partial.get(path, {})
+
+    def covered_indices(self, path: MetaPath) -> np.ndarray | None:
+        """Vertex indices with a stored row of ``path``.
+
+        ``None`` means *every* in-range vertex is covered (a full matrix is
+        stored); an empty array means nothing is.  Used by the bulk
+        strategies to partition whole request blocks into index hits and
+        misses with one vectorized membership test.
+        """
+        if path in self._full:
+            return None
+        rows = self._partial.get(path)
+        if not rows:
+            return np.empty(0, dtype=np.int64)
+        return np.fromiter(rows.keys(), dtype=np.int64, count=len(rows))
+
+    def coverage_mask(self, path: MetaPath, width: int) -> np.ndarray | None:
+        """Boolean coverage lookup table for ``path`` over ``width`` vertices.
+
+        ``mask[i]`` is True exactly when vertex ``i`` has a stored row;
+        ``None`` means a full matrix covers every in-range vertex.  The mask
+        is cached until the next store, so block partitioning costs one
+        O(block) fancy index instead of a per-block membership sort.
+        """
+        if path in self._full:
+            return None
+        key = (path, width)
+        mask = self._coverage.get(key)
+        if mask is None:
+            mask = np.zeros(width, dtype=bool)
+            rows = self._partial.get(path)
+            if rows:
+                mask[np.fromiter(rows.keys(), dtype=np.int64, count=len(rows))] = True
+            self._coverage[key] = mask
+        return mask
+
+    def gather_rows(
+        self, path: MetaPath, vertex_indices: "np.ndarray | list[int]"
+    ) -> sparse.csr_matrix:
+        """Stacked stored rows of ``path`` for ``vertex_indices`` (all hits).
+
+        One fancy-indexed row gather: full matrices are sliced directly;
+        partial stores are stacked once into a bulk matrix (cached until
+        the next :meth:`store_row`) and then sliced the same way.
+
+        Raises
+        ------
+        ExecutionError
+            If any requested vertex has no stored row — callers partition
+            with :meth:`covered_indices` first.
+        """
+        positions = np.asarray(vertex_indices, dtype=np.int64)
+        full = self._full.get(path)
+        if full is not None:
+            if positions.size and (
+                positions.min() < 0 or positions.max() >= full.shape[0]
+            ):
+                raise ExecutionError(
+                    f"gather_rows: vertex index out of range for {path}"
+                )
+            return full[positions, :].tocsr()
+        stacked = self._partial_stacked.get(path)
+        if stacked is None:
+            rows = self._partial.get(path, {})
+            if rows:
+                matrix = sparse.vstack(list(rows.values()), format="csr")
+                stored = np.fromiter(rows.keys(), dtype=np.int64, count=len(rows))
+                inverse = np.full(int(stored.max()) + 1, -1, dtype=np.int64)
+                inverse[stored] = np.arange(stored.size, dtype=np.int64)
+            else:
+                matrix = sparse.csr_matrix((0, 0), dtype=float)
+                inverse = np.empty(0, dtype=np.int64)
+            stacked = (matrix, inverse)
+            self._partial_stacked[path] = stacked
+        matrix, inverse = stacked
+        if positions.size and (
+            positions.min() < 0 or positions.max() >= inverse.size
+        ):
+            raise ExecutionError(
+                f"gather_rows: no stored row for some vertex of {path}"
+            )
+        slots = inverse[positions]
+        if positions.size and slots.min() < 0:
+            raise ExecutionError(
+                f"gather_rows: no stored row for some vertex of {path}"
+            )
+        return matrix[slots, :].tocsr()
 
     @property
     def paths(self) -> list[MetaPath]:

@@ -375,6 +375,12 @@ class FallbackStrategy(MaterializationStrategy):
     fail to build, so a query always gets an answer unless its deadline
     expires first.
 
+    Bulk requests delegate wholesale to the active rung's
+    ``neighbor_matrix``, so the wrapper inherits each rung's batched block
+    path (and its block-granular deadline and fault-point checks); a rung
+    failure mid-block demotes and re-runs the whole request on the next
+    rung.
+
     Parameters
     ----------
     network:

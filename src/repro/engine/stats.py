@@ -39,9 +39,17 @@ class ExecutionStats:
     timer:
         Wall-clock accumulation per phase (seconds).
     traversed_vectors:
-        Number of neighbor vectors materialized by traversal.
+        Number of neighbor vectors materialized by traversal.  In block
+        mode this counts per-vertex *equivalents*: a bulk traversal of a
+        32-row block adds 32, and SPM segment expansions count one per
+        expanded element, matching the row-at-a-time accounting exactly.
     indexed_vectors:
-        Number of neighbor vectors served (at least partly) from an index.
+        Number of neighbor vectors served (at least partly) from an index
+        (same per-vertex-equivalent convention as ``traversed_vectors``).
+    materialized_blocks:
+        Number of bulk materialization blocks (≤ ``BLOCK_ROWS`` rows each)
+        processed by ``neighbor_matrix`` calls.  Zero for purely
+        row-at-a-time executions.
     queries:
         Number of queries folded into this object (1 for a single run,
         larger after :meth:`merge`).
@@ -50,6 +58,7 @@ class ExecutionStats:
     timer: PhaseTimer = field(default_factory=PhaseTimer)
     traversed_vectors: int = 0
     indexed_vectors: int = 0
+    materialized_blocks: int = 0
     queries: int = 1
     #: End-to-end wall time of the query (parse to ranked result).  The
     #: three tracked phases cover materialization and scoring; wall time
@@ -71,6 +80,16 @@ class ExecutionStats:
         return self.timer.total(PHASE_SCORING)
 
     @property
+    def materialization_seconds(self) -> float:
+        """Total neighbor-vector materialization time, both phases.
+
+        The quantity the strategy comparison (Figure 3) actually varies:
+        parse/validate/score time is identical across strategies, so
+        strategy benchmarks compare this rather than ``wall_seconds``.
+        """
+        return self.not_indexed_seconds + self.indexed_seconds
+
+    @property
     def total_seconds(self) -> float:
         return self.timer.grand_total
 
@@ -80,6 +99,7 @@ class ExecutionStats:
         self.timer.merge(other.timer)
         self.traversed_vectors += other.traversed_vectors
         self.indexed_vectors += other.indexed_vectors
+        self.materialized_blocks += other.materialized_blocks
         self.queries += other.queries
         self.wall_seconds += other.wall_seconds
 

@@ -1,0 +1,97 @@
+"""Property-based tests: the batched ``neighbor_matrix`` path returns a
+matrix *structurally identical* (dtype, indptr, indices, data) to vstacking
+per-vertex ``neighbor_row`` calls — for every strategy, for SPM hit/miss
+mixes, and for warm/cold caches."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.engine.caching import CachingStrategy
+from repro.engine.strategies import (
+    BaselineStrategy,
+    PMStrategy,
+    SPMStrategy,
+    _canonical,
+)
+from tests.properties.test_strategy_properties import PATHS, networks
+
+
+def _requests(draw, network):
+    """A request list over author indices: unsorted, duplicates allowed."""
+    count = network.num_vertices("author")
+    return draw(
+        st.lists(st.integers(0, count - 1), min_size=1, max_size=24)
+    )
+
+
+def _per_row_reference(strategy, path, indices):
+    return _canonical(
+        sparse.vstack(
+            [strategy.neighbor_row(path, index) for index in indices],
+            format="csr",
+        )
+    )
+
+
+def _assert_identical(actual, expected, label):
+    assert actual.shape == expected.shape, label
+    assert actual.dtype == np.float64, label
+    assert np.array_equal(actual.indptr, expected.indptr), label
+    assert np.array_equal(actual.indices, expected.indices), label
+    assert np.array_equal(actual.data, expected.data), label
+
+
+class TestBatchedEqualsPerRow:
+    @given(networks(), st.sampled_from(PATHS), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_all_strategies(self, network, path, data):
+        indices = _requests(data.draw, network)
+        # SPM indexes every other author: requests mix hits and misses.
+        selected = list(network.vertices("author"))[::2]
+        strategies = [
+            BaselineStrategy(network),
+            PMStrategy(network),
+            SPMStrategy(network, selected=selected),
+        ]
+        for strategy in strategies:
+            expected = _per_row_reference(strategy, path, indices)
+            actual = strategy.neighbor_matrix(path, indices)
+            _assert_identical(actual, expected, f"{strategy.name} on {path}")
+
+    @given(networks(), st.sampled_from(PATHS), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_spm_all_hits_and_all_misses(self, network, path, data):
+        """The pure-hit and pure-miss partitions agree with per-row too."""
+        authors = list(network.vertices("author"))
+        selected = authors[::2]
+        strategy = SPMStrategy(network, selected=selected)
+        hit_indices = [vertex.index for vertex in selected]
+        miss_indices = [
+            vertex.index for vertex in authors if vertex not in selected
+        ]
+        for indices in (hit_indices, miss_indices):
+            if not indices:
+                continue
+            expected = _per_row_reference(strategy, path, indices)
+            actual = strategy.neighbor_matrix(path, indices)
+            _assert_identical(actual, expected, f"spm on {path}")
+
+    @given(networks(), st.sampled_from(PATHS), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_caching_warm_and_cold(self, network, path, data):
+        indices = _requests(data.draw, network)
+        plain = BaselineStrategy(network)
+        expected = _per_row_reference(plain, path, indices)
+
+        cached = CachingStrategy(BaselineStrategy(network), max_rows=1024)
+        # Prime a prefix through the row path so the batch sees a
+        # warm/cold mix, then verify the cold batch and a fully warm one.
+        for index in indices[: len(indices) // 2]:
+            cached.neighbor_row(path, index)
+        mixed = cached.neighbor_matrix(path, indices)
+        _assert_identical(mixed, expected, f"cached mixed on {path}")
+        warm = cached.neighbor_matrix(path, indices)
+        _assert_identical(warm, expected, f"cached warm on {path}")
+        assert cached.hits > 0
