@@ -16,8 +16,19 @@ properties the design promises:
    sheds the excess with typed ``ServiceOverloadedError`` (retry hints
    attached); every admitted request still completes correctly, and nothing
    hangs.
+4. **Backend scaling** — on a CPU-bound (GIL-serialized) workload the
+   process backend's qps scales with workers where the thread backend's
+   cannot, with byte-identical results; the curve lands in
+   ``benchmarks/out/BENCH_service.json``.
+
+Quick mode: set ``BENCH_SMOKE=1`` to shrink the backend-scaling sweep
+(smaller workload, 1-and-2-worker points, relaxed floor); CI's bench-smoke
+job uses it to guard the thread/process parity and scaling direction on
+every push.
 """
 
+import json
+import os
 import time
 from concurrent.futures import wait
 
@@ -32,6 +43,9 @@ from repro.service import (
     ServiceConfig,
     canonical_query_key,
 )
+from repro.service.simload import GilBoundNetOutMeasure
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 
 #: Simulated per-score remote fetch; sleep releases the GIL like socket I/O.
 REMOTE_FETCH_SECONDS = 0.008
@@ -129,6 +143,111 @@ def test_worker_pool_scaling(benchmark, bench_network, report):
     report("service_throughput_scaling", "\n".join(lines))
 
     assert speedup >= 3.0, f"8 workers only {speedup:.2f}x over 1 worker"
+
+
+#: Backend-scaling sweep parameters.  The GIL-emulating measure makes the
+#: workload architecturally CPU-bound (see repro.service.simload): threads
+#: serialize on a per-process lock exactly as they would on the GIL, so the
+#: curve is deterministic on any host, including 1-core CI runners.
+SCALING_WORKERS = (1, 2) if SMOKE else (1, 2, 4, 8)
+SCALING_WORKLOAD = 12 if SMOKE else 48
+SCALING_COMPUTE_SECONDS = 0.02
+#: Acceptance floor for process-over-thread qps at the top worker count.
+SCALING_FLOOR = 1.4 if SMOKE else 3.0
+
+
+def test_backend_scaling(benchmark, bench_network, report, json_report):
+    """Acceptance: >= 3x qps for the process backend over the thread
+    backend at 8 workers on a CPU-bound mix, with byte-identical results."""
+    workload = _distinct_workload(bench_network, SCALING_WORKLOAD)
+    pm_index = build_pm_index(bench_network)
+    measure = GilBoundNetOutMeasure(compute_seconds=SCALING_COMPUTE_SECONDS)
+
+    def run(backend, workers, collect=False):
+        handle = EngineHandle(
+            bench_network,
+            strategy="pm",
+            index=pm_index,
+            measure=measure,
+            collect_stats=False,
+        )
+        config = ServiceConfig(
+            workers=workers,
+            backend=backend,
+            queue_depth=len(workload),
+            cache_max_entries=0,  # measure execution, not memoization
+            collect_stats=False,
+        )
+        with QueryService(handle, config) as service:
+            if collect:
+                results = service.execute_many(workload, timeout=300.0)
+                payload = [result.to_dict() for result in results]
+            else:
+                payload = None
+            qps = _drive(service, workload)
+        return qps, payload
+
+    def sweep():
+        curve = {"thread": {}, "process": {}}
+        wire = {}
+        for backend in ("thread", "process"):
+            for workers in SCALING_WORKERS:
+                collect = workers == SCALING_WORKERS[-1]
+                qps, payload = run(backend, workers, collect=collect)
+                curve[backend][workers] = qps
+                if collect:
+                    wire[backend] = payload
+        return curve, wire
+
+    curve, wire = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    top = SCALING_WORKERS[-1]
+    speedup = curve["process"][top] / curve["thread"][top]
+    identical = json.dumps(wire["thread"], sort_keys=True) == json.dumps(
+        wire["process"], sort_keys=True
+    )
+
+    lines = [
+        f"thread vs process backend over {len(workload)} distinct Q1 "
+        "queries",
+        f"(netout + {SCALING_COMPUTE_SECONDS * 1e3:.0f} ms GIL-emulated "
+        "interpreter work per scoring call)",
+        "",
+        f"{'workers':>8} {'thread qps':>11} {'process qps':>12} {'ratio':>7}",
+    ]
+    for workers in SCALING_WORKERS:
+        ratio = curve["process"][workers] / curve["thread"][workers]
+        lines.append(
+            f"{workers:>8} {curve['thread'][workers]:>11.1f} "
+            f"{curve['process'][workers]:>12.1f} {ratio:>6.2f}x"
+        )
+    lines += [
+        "",
+        f"process/thread at {top} workers: {speedup:.2f}x "
+        f"(floor: {SCALING_FLOOR}x)",
+        f"results byte-identical across backends: {identical}",
+    ]
+    report("service_backend_scaling", "\n".join(lines))
+    json_report(
+        "BENCH_service",
+        {
+            "workload_size": len(workload),
+            "compute_seconds": SCALING_COMPUTE_SECONDS,
+            "smoke": SMOKE,
+            "qps": {
+                backend: {str(workers): qps for workers, qps in points.items()}
+                for backend, points in curve.items()
+            },
+            "speedup_process_over_thread_at_top": speedup,
+            "top_workers": top,
+            "byte_identical": identical,
+        },
+    )
+
+    assert identical, "backends returned different result payloads"
+    assert speedup >= SCALING_FLOOR, (
+        f"process backend only {speedup:.2f}x over thread at {top} workers"
+    )
 
 
 def test_result_cache_speedup(benchmark, bench_network, report):

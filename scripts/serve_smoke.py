@@ -12,13 +12,16 @@ a dashboard workload), and asserts the serving contract:
 
 Run from the repository root::
 
-    PYTHONPATH=src python scripts/serve_smoke.py
+    PYTHONPATH=src python scripts/serve_smoke.py [--backend thread|process]
 
-Exits 0 on success, 1 on any violation — CI-friendly, stdlib-only.
+``--backend`` selects the service's execution backend (CI runs the smoke
+once per backend); the serving contract asserted here is identical for
+both.  Exits 0 on success, 1 on any violation — CI-friendly, stdlib-only.
 """
 
 from __future__ import annotations
 
+import argparse
 import http.client
 import json
 import re
@@ -52,6 +55,14 @@ def request(host: str, port: int, method: str, path: str, body=None):
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="execution backend for the served QueryService",
+    )
+    args = parser.parse_args()
     repo_root = Path(__file__).resolve().parent.parent
     with tempfile.TemporaryDirectory() as tmp:
         corpus = str(Path(tmp) / "corpus.json")
@@ -66,6 +77,7 @@ def main() -> int:
             [sys.executable, "-m", "repro", "serve",
              "--network", corpus,
              "--port", "0",
+             "--backend", args.backend,
              "--workers", "4",
              "--queue-depth", "64",
              "--max-requests", str(TOTAL_REQUESTS)],

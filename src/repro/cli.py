@@ -177,7 +177,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         metavar="N",
-        help="worker threads executing queries over the shared index",
+        help="workers executing queries over the shared index; 0 auto-sizes "
+        "to the physical-core estimate (os.cpu_count()/2, floor 1)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="execution backend: 'thread' shares the engine in-process; "
+        "'process' spawns workers over zero-copy shared-memory CSR views "
+        "(results are identical; see docs/service.md)",
     )
     serve.add_argument(
         "--queue-depth",
@@ -426,11 +435,15 @@ def _command_schema(args, out) -> int:
 
 
 def _command_serve(args, out) -> int:
+    import signal
+    import threading
+
     from repro.service import QueryService, ServiceConfig, make_server
 
     network = _load_network(args.network)
     config = ServiceConfig(
         workers=args.workers,
+        backend=args.backend,
         queue_depth=args.queue_depth,
         timeout_seconds=args.timeout,
         cache_ttl_seconds=args.cache_ttl if args.cache_ttl > 0 else None,
@@ -450,10 +463,24 @@ def _command_serve(args, out) -> int:
         port=args.port,
         max_requests=args.max_requests,
     )
+    # SIGTERM (systemd/container stop) takes the same clean path as
+    # max-requests self-shutdown and Ctrl-C: stop accepting, drain in-flight
+    # queries, release admission slots, tear down workers, unlink shared
+    # memory.  Signals only deliver to the main thread; when serve runs
+    # embedded on another thread (tests), skip installation.
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(
+            signal.SIGTERM,
+            lambda signum, frame: threading.Thread(
+                target=server.shutdown, daemon=True
+            ).start(),
+        )
     host, port = server.server_address[:2]
     print(
         f"serving {args.network} on http://{host}:{port} "
-        f"({service.handle.fingerprint}, {args.workers} workers, "
+        f"({service.handle.fingerprint}, {config.backend} backend, "
+        f"{config.workers} workers"
+        f"{' [auto]' if args.workers == 0 else ''}, "
         f"queue depth {args.queue_depth}, "
         f"index {service.handle.index_size_bytes() / 1e6:.2f} MB)",
         file=out,
@@ -465,7 +492,10 @@ def _command_serve(args, out) -> int:
         pass
     finally:
         server.server_close()
-        service.close()
+        # Drain before teardown: in-flight futures resolve and their
+        # admission slots release before workers (and, for the process
+        # backend, the shared-memory segment) go away.
+        service.close(drain=True)
         print(
             f"served {server.served_count} requests; shut down cleanly",
             file=out,

@@ -218,6 +218,25 @@ class CachingStrategy(MaterializationStrategy):
             total = self.hits + self.misses
             return self.hits / total if total else 0.0
 
+    def snapshot(self) -> dict:
+        """Internally consistent stats snapshot under **one** lock hold.
+
+        ``/stats`` readers must not assemble their view from separate
+        ``hit_rate`` / ``cached_rows`` property reads — each takes the lock
+        independently, so a concurrent insert between them yields a row
+        count and hit rate from different moments.
+        """
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "rows": len(self._rows),
+                "max_rows": self.max_rows,
+                "hits": self.hits,
+                "misses": self.misses,
+                "faulted_reads": self.faulted_reads,
+                "hit_rate": self.hits / total if total else 0.0,
+            }
+
     def clear(self) -> None:
         """Drop all cached rows and reset hit/miss counters."""
         with self._lock:

@@ -30,6 +30,17 @@ from repro.utils.sparsetools import csr_storage_bytes, sparse_row_bytes
 __all__ = ["MetaPathIndex", "build_pm_index", "build_spm_index"]
 
 
+def _mark_canonical(matrix: sparse.csr_matrix) -> None:
+    """Mark a reattached CSR matrix as having canonical format.
+
+    Export canonicalizes every matrix before packing, so the flags are
+    truthful — setting them up front stops scipy from ever attempting an
+    in-place ``sort_indices`` on read-only shared-memory buffers.
+    """
+    matrix.has_sorted_indices = True
+    matrix.has_canonical_format = True
+
+
 class MetaPathIndex:
     """Row-retrievable store of pre-materialized meta-path count matrices.
 
@@ -197,6 +208,108 @@ class MetaPathIndex:
     def paths(self) -> list[MetaPath]:
         """All meta-paths with any stored data, full matrices first."""
         return list(self._full) + [p for p in self._partial if p not in self._full]
+
+    # ------------------------------------------------------------------
+    # Flat-buffer export / attach (shared-memory transport)
+    # ------------------------------------------------------------------
+    def export_arrays(self) -> tuple[dict, dict[str, "np.ndarray"]]:
+        """Flatten the index into a manifest plus named numpy arrays.
+
+        The manifest (plain dicts/lists, picklable) records each stored
+        matrix's meta-path, kind, and shape; the arrays map carries every
+        CSR buffer (``data``/``indices``/``indptr`` per matrix, plus the
+        covered-vertex array for partial stores).  Together they are the
+        wire form the process-parallel service places in
+        ``multiprocessing.shared_memory`` — see :meth:`from_arrays` for the
+        zero-copy reattach and :mod:`repro.service.shm` for the transport.
+
+        Partial (SPM) stores are stacked into one CSR per path so a worker
+        attaches O(paths) matrices, not O(rows) segments.
+        """
+        entries: list[dict] = []
+        arrays: dict[str, np.ndarray] = {}
+
+        def pack(prefix: str, matrix: sparse.csr_matrix) -> None:
+            # Canonicalize in place (no-op when already canonical) so the
+            # attach side can mark its read-only views canonical without
+            # scipy ever attempting an in-place sort on shared pages.
+            matrix.sum_duplicates()
+            arrays[f"{prefix}:data"] = matrix.data
+            arrays[f"{prefix}:indices"] = matrix.indices
+            arrays[f"{prefix}:indptr"] = matrix.indptr
+
+        for position, path in enumerate(
+            sorted(self._full, key=lambda p: p.types)
+        ):
+            matrix = self._full[path]
+            prefix = f"index:full:{position}"
+            pack(prefix, matrix)
+            entries.append(
+                {
+                    "kind": "full",
+                    "types": list(path.types),
+                    "shape": [int(s) for s in matrix.shape],
+                    "prefix": prefix,
+                }
+            )
+        for position, path in enumerate(
+            sorted(self._partial, key=lambda p: p.types)
+        ):
+            rows = self._partial[path]
+            vertices = np.fromiter(rows.keys(), dtype=np.int64, count=len(rows))
+            stacked = sparse.vstack(list(rows.values()), format="csr")
+            prefix = f"index:partial:{position}"
+            pack(prefix, stacked)
+            arrays[f"{prefix}:vertices"] = vertices
+            entries.append(
+                {
+                    "kind": "partial",
+                    "types": list(path.types),
+                    "shape": [int(s) for s in stacked.shape],
+                    "prefix": prefix,
+                }
+            )
+        return {"entries": entries}, arrays
+
+    @classmethod
+    def from_arrays(
+        cls, manifest: dict, arrays: "dict[str, np.ndarray]"
+    ) -> "MetaPathIndex":
+        """Rebuild an index from :meth:`export_arrays` output, zero-copy.
+
+        Matrix buffers are adopted as-is (no validation pass, no dtype
+        cast), so when ``arrays`` holds shared-memory views the rebuilt
+        index reads the same physical pages as every other attached
+        process.  Content integrity is the transport's job — the service's
+        shared segments carry a fingerprint checked on attach.
+        """
+        index = cls()
+        for entry in manifest["entries"]:
+            path = MetaPath(tuple(entry["types"]))
+            prefix = entry["prefix"]
+            data = arrays[f"{prefix}:data"]
+            indices = arrays[f"{prefix}:indices"]
+            indptr = arrays[f"{prefix}:indptr"]
+            shape = tuple(int(s) for s in entry["shape"])
+            if entry["kind"] == "full":
+                matrix = sparse.csr_matrix(shape, dtype=data.dtype)
+                matrix.data, matrix.indices, matrix.indptr = data, indices, indptr
+                _mark_canonical(matrix)
+                index._full[path] = matrix
+            else:
+                vertices = arrays[f"{prefix}:vertices"]
+                width = shape[1]
+                store: dict[int, sparse.csr_matrix] = {}
+                for slot, vertex in enumerate(vertices):
+                    start, stop = int(indptr[slot]), int(indptr[slot + 1])
+                    row = sparse.csr_matrix((1, width), dtype=data.dtype)
+                    row.data = data[start:stop]
+                    row.indices = indices[start:stop]
+                    row.indptr = np.array([0, stop - start], dtype=indptr.dtype)
+                    _mark_canonical(row)
+                    store[int(vertex)] = row
+                index._partial[path] = store
+        return index
 
     def partial_rows(self, path: MetaPath) -> dict[int, sparse.csr_matrix]:
         """The stored rows of a partially materialized path (copy of the map).

@@ -27,6 +27,7 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceClosedError",
+    "WorkerCrashedError",
     "DegradedResultWarning",
 ]
 
@@ -206,6 +207,16 @@ class ServiceClosedError(ServiceError):
     Raised by :meth:`~repro.service.QueryService.submit` after
     :meth:`~repro.service.QueryService.close`; in-flight requests accepted
     before the close still complete (graceful drain).
+    """
+
+
+class WorkerCrashedError(ServiceError):
+    """A worker process died while (re)executing this request.
+
+    The process backend replaces crashed workers and resubmits their
+    outstanding queries once (queries are read-only, so a retry is safe);
+    this error surfaces only when the retry *also* lost its worker —
+    evidence the query itself is killing workers, not a transient fault.
     """
 
 

@@ -109,6 +109,68 @@ class HeterogeneousInformationNetwork:
         # Mutation counter: bumps on every vertex/edge insertion so index
         # layers can detect staleness (see repro.engine.strategies).
         self._version = 0
+        # Set by :meth:`from_prebuilt`: a network wrapped around externally
+        # owned adjacency buffers (shared-memory views) cannot be mutated —
+        # its COO buffers are empty, so a rebuild would silently drop every
+        # edge.  Mutations raise instead.
+        self._frozen = False
+
+    @classmethod
+    def from_prebuilt(
+        cls,
+        schema: NetworkSchema,
+        names: Mapping[str, list[str]],
+        attributes: Mapping[str, list[dict[str, Any]]],
+        adjacency: Mapping[tuple[str, str], sparse.csr_matrix],
+        *,
+        num_edges: int = 0,
+        version: int = 0,
+    ) -> "HeterogeneousInformationNetwork":
+        """Wrap pre-built adjacency matrices in a read-only network.
+
+        The service's process backend reconstructs networks in worker
+        processes from shared-memory CSR views: the matrices are installed
+        directly (no copy, no COO rebuild) and the network is **frozen** —
+        ``add_vertex`` / ``add_edge`` raise, because the COO buffers backing
+        a rebuild are empty here and the underlying buffers are shared
+        read-only pages.  ``version`` should carry the source network's
+        mutation counter so result-cache keys agree across processes.
+        """
+        network = cls(schema)
+        for vertex_type, type_names in names.items():
+            if not schema.has_vertex_type(vertex_type):
+                raise NetworkError(
+                    f"vertex type {vertex_type!r} is not in the schema"
+                )
+            network._names[vertex_type] = list(type_names)
+            network._name_index[vertex_type] = {
+                name: index for index, name in enumerate(type_names)
+            }
+            type_attributes = list(attributes.get(vertex_type, []))
+            if len(type_attributes) < len(type_names):
+                type_attributes.extend(
+                    {} for _ in range(len(type_names) - len(type_attributes))
+                )
+            network._attributes[vertex_type] = type_attributes
+        for (source, target), matrix in adjacency.items():
+            if not schema.has_edge_type(source, target):
+                raise NetworkError(
+                    f"edge type {source}-{target} is not registered in the schema"
+                )
+            expected = (
+                len(network._names[source]),
+                len(network._names[target]),
+            )
+            if tuple(matrix.shape) != expected:
+                raise NetworkError(
+                    f"adjacency for {source}-{target} has shape "
+                    f"{tuple(matrix.shape)}, expected {expected}"
+                )
+            network._adjacency[EdgeType(source, target)] = matrix
+        network._num_edges = num_edges
+        network._version = version
+        network._frozen = True
+        return network
 
     # ------------------------------------------------------------------
     # Vertices
@@ -135,6 +197,11 @@ class HeterogeneousInformationNetwork:
         existing = index_map.get(name)
         if existing is not None:
             return VertexId(vertex_type, existing)
+        if self._frozen:
+            raise NetworkError(
+                "this network wraps shared read-only adjacency buffers "
+                "(from_prebuilt) and cannot be mutated"
+            )
         index = len(self._names[vertex_type])
         self._version += 1
         self._names[vertex_type].append(name)
@@ -205,6 +272,13 @@ class HeterogeneousInformationNetwork:
             raise NetworkError(f"vertex type {vertex_type!r} is not in the schema")
         return list(self._names[vertex_type])
 
+    def vertex_attributes(self, vertex_type: str) -> list[dict[str, Any]]:
+        """Attribute dicts of one type, in index order (shallow copy of the
+        list; the dicts are the live records)."""
+        if not self._schema.has_vertex_type(vertex_type):
+            raise NetworkError(f"vertex type {vertex_type!r} is not in the schema")
+        return list(self._attributes[vertex_type])
+
     # ------------------------------------------------------------------
     # Edges
     # ------------------------------------------------------------------
@@ -218,6 +292,11 @@ class HeterogeneousInformationNetwork:
         """
         self._check_id(u)
         self._check_id(v)
+        if self._frozen:
+            raise NetworkError(
+                "this network wraps shared read-only adjacency buffers "
+                "(from_prebuilt) and cannot be mutated"
+            )
         if count <= 0:
             raise NetworkError(f"edge count must be positive, got {count}")
         if not self._schema.has_edge_type(u.type, v.type):

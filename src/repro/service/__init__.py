@@ -34,8 +34,9 @@ True
 """
 
 from repro.service.admission import AdmissionController
+from repro.service.backends import ProcessBackend, ThreadBackend, make_backend
 from repro.service.cache import ResultCache, canonical_query_key
-from repro.service.config import ServiceConfig
+from repro.service.config import ServiceConfig, auto_worker_count
 from repro.service.handle import EngineHandle
 from repro.service.http import ServiceHTTPServer, make_server
 from repro.service.service import QueryService
@@ -43,10 +44,14 @@ from repro.service.service import QueryService
 __all__ = [
     "AdmissionController",
     "EngineHandle",
+    "ProcessBackend",
     "QueryService",
     "ResultCache",
     "ServiceConfig",
     "ServiceHTTPServer",
+    "ThreadBackend",
+    "auto_worker_count",
     "canonical_query_key",
+    "make_backend",
     "make_server",
 ]

@@ -1,19 +1,37 @@
 """Tuning knobs for the concurrent query service.
 
-One :class:`ServiceConfig` instance describes a deployment: how many worker
-threads execute queries, how deep the admission queue may grow before the
-service sheds load, the per-request time budget, and the result cache's
-size and freshness window.  The CLI's ``repro serve`` flags map onto these
-fields one-to-one (see ``docs/service.md`` for tuning guidance).
+One :class:`ServiceConfig` instance describes a deployment: which execution
+backend runs queries (threads in-process, or worker processes over
+shared-memory indexes), how many workers, how deep the admission queue may
+grow before the service sheds load, the per-request time budget, and the
+result cache's size and freshness window.  The CLI's ``repro serve`` flags
+map onto these fields one-to-one (see ``docs/service.md`` for tuning
+guidance).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.exceptions import ServiceError
 
-__all__ = ["ServiceConfig"]
+__all__ = ["ServiceConfig", "auto_worker_count"]
+
+#: Execution backends understood by the service layer.
+BACKENDS = ("thread", "process")
+
+
+def auto_worker_count() -> int:
+    """Worker count for ``workers=0``: an estimate of *physical* cores.
+
+    ``os.cpu_count()`` reports logical CPUs; on SMT machines that is twice
+    the physical core count, and CPU-bound sparse kernels gain nothing from
+    hyperthread siblings fighting over the same vector units.  Halving the
+    logical count (floor 1) is the standard portable estimate — Python
+    exposes no physical-core API.
+    """
+    return max(1, (os.cpu_count() or 1) // 2)
 
 
 @dataclass(frozen=True)
@@ -23,7 +41,16 @@ class ServiceConfig:
     Attributes
     ----------
     workers:
-        Worker threads executing queries against the shared engine.
+        Workers executing queries against the shared engine.  ``0``
+        auto-sizes to the physical-core estimate of
+        :func:`auto_worker_count` (the resolved count is stored, so
+        ``config.workers`` is always the real pool size).
+    backend:
+        ``"thread"`` (default) runs queries on a thread pool sharing the
+        parent's engine; ``"process"`` spawns worker processes that attach
+        zero-copy shared-memory views of the warmed CSR index — the choice
+        never changes results, only how the compute parallelizes (see
+        ``docs/service.md``).
     queue_depth:
         Requests allowed to *wait* beyond the ones the workers are busy
         with.  A request arriving when ``workers + queue_depth`` requests
@@ -46,6 +73,7 @@ class ServiceConfig:
     """
 
     workers: int = 4
+    backend: str = "thread"
     queue_depth: int = 64
     timeout_seconds: float | None = None
     cache_ttl_seconds: float | None = 60.0
@@ -53,8 +81,17 @@ class ServiceConfig:
     collect_stats: bool = True
 
     def __post_init__(self) -> None:
+        if self.workers == 0:
+            # Frozen dataclass: resolve the auto-size in place so every
+            # consumer (admission capacity, stats, backends) sees the real
+            # worker count rather than the sentinel.
+            object.__setattr__(self, "workers", auto_worker_count())
         if self.workers < 1:
-            raise ServiceError(f"workers must be >= 1, got {self.workers}")
+            raise ServiceError(f"workers must be >= 0, got {self.workers}")
+        if self.backend not in BACKENDS:
+            raise ServiceError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
         if self.queue_depth < 0:
             raise ServiceError(
                 f"queue_depth must be >= 0, got {self.queue_depth}"

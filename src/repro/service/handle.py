@@ -86,6 +86,17 @@ class EngineHandle:
         collect_stats: bool = True,
     ) -> None:
         self.network = network
+        # Construction record: the process backend ships these (minus the
+        # network/index, which travel as shared-memory buffers) to worker
+        # processes so they can rebuild an equivalent handle.
+        self._init_spec = {
+            "strategy": strategy,
+            "measure": measure,
+            "combine": combine,
+            "resilience": resilience,
+            "row_cache_rows": row_cache_rows,
+            "collect_stats": collect_stats,
+        }
         base = OutlierDetector(
             network,
             strategy=strategy,
@@ -182,3 +193,151 @@ class EngineHandle:
     def execute_many(self, queries: Sequence[str | Query]) -> BatchExecution:
         """Run a batch against the shared engine (any thread)."""
         return self.detector.detect_many(queries)
+
+    # ------------------------------------------------------------------
+    # Shared-memory export / attach (process backend)
+    # ------------------------------------------------------------------
+    def _concrete_strategy(self) -> MaterializationStrategy:
+        """The strategy actually answering queries right now.
+
+        Unwraps the row-cache layer and, for a resilience ladder, forces
+        and returns the active rung — the one whose index (if any) is worth
+        shipping to workers.
+        """
+        strategy = self.detector.strategy
+        while True:
+            if isinstance(strategy, CachingStrategy):
+                strategy = strategy.inner
+                continue
+            build_active = getattr(strategy, "_active_strategy", None)
+            if callable(build_active):
+                strategy = build_active()
+                continue
+            return strategy
+
+    def export_shared(self) -> "tuple[dict, dict]":
+        """Flatten the warmed engine into ``(spec, arrays)``.
+
+        ``spec`` is a picklable description (schema, vertex registries,
+        array layout, detector settings); ``arrays`` maps names to the CSR
+        buffers of every adjacency matrix and — when the active strategy is
+        indexed — every index matrix.  :meth:`from_shared` inverts this in
+        a worker process over shared-memory views of the same arrays.
+
+        A ladder (``resilience.allow_degraded``) exports its **active
+        rung**: workers serve the concrete strategy the parent settled on
+        and do not re-run per-worker demotion (see ``docs/service.md``).
+        """
+        arrays: dict = {}
+        adjacency_entries: list[dict] = []
+        schema = self.network.schema
+        seen: set[tuple[str, str]] = set()
+        for edge_type in schema.edge_types:
+            pair = (edge_type.source, edge_type.target)
+            if pair in seen:
+                continue
+            seen.add(pair)
+            matrix = self.network.adjacency(*pair)
+            # No-op when already canonical; guarantees the attach side may
+            # mark its read-only views canonical (see engine.index).
+            matrix.sum_duplicates()
+            prefix = f"adj:{pair[0]}:{pair[1]}"
+            arrays[f"{prefix}:data"] = matrix.data
+            arrays[f"{prefix}:indices"] = matrix.indices
+            arrays[f"{prefix}:indptr"] = matrix.indptr
+            adjacency_entries.append(
+                {
+                    "source": pair[0],
+                    "target": pair[1],
+                    "shape": [int(s) for s in matrix.shape],
+                    "prefix": prefix,
+                }
+            )
+
+        concrete = self._concrete_strategy()
+        index = getattr(concrete, "index", None)
+        index_manifest = None
+        if index is not None:
+            index_manifest, index_arrays = index.export_arrays()
+            arrays.update(index_arrays)
+
+        spec = {
+            "schema": schema,
+            "names": {t: self.network.vertex_names(t) for t in schema.vertex_types},
+            "attributes": {
+                t: self.network.vertex_attributes(t) for t in schema.vertex_types
+            },
+            "adjacency": adjacency_entries,
+            "index_manifest": index_manifest,
+            "strategy": getattr(concrete, "name", "baseline"),
+            "measure": self._init_spec["measure"],
+            "combine": self._init_spec["combine"],
+            "resilience": self._init_spec["resilience"],
+            "row_cache_rows": self._init_spec["row_cache_rows"],
+            "collect_stats": self._init_spec["collect_stats"],
+            "num_edges": self.network.num_edges(),
+            "version": self.network.version,
+            "fingerprint": self.fingerprint,
+        }
+        # Fail fast in the parent if anything in the spec cannot cross a
+        # spawn boundary (an unpicklable custom measure or policy would
+        # otherwise kill every worker at start-up with a cryptic error).
+        import pickle
+
+        from repro.exceptions import ServiceError
+
+        try:
+            pickle.dumps(spec)
+        except Exception as error:
+            raise ServiceError(
+                "engine spec is not picklable for the process backend "
+                f"({error}); custom measures/policies must be importable "
+                "module-level classes"
+            ) from error
+        return spec, arrays
+
+    @classmethod
+    def from_shared(cls, spec: dict, views: "dict") -> "EngineHandle":
+        """Rebuild a serving handle from :meth:`export_shared` output.
+
+        ``views`` holds (typically shared-memory, read-only) arrays under
+        the names assigned by :meth:`export_shared`; all CSR matrices are
+        reconstructed as zero-copy wrappers over those buffers.
+        """
+        from scipy import sparse
+
+        from repro.engine.index import MetaPathIndex, _mark_canonical
+        from repro.hin.network import HeterogeneousInformationNetwork
+
+        adjacency = {}
+        for entry in spec["adjacency"]:
+            prefix = entry["prefix"]
+            shape = tuple(int(s) for s in entry["shape"])
+            data = views[f"{prefix}:data"]
+            matrix = sparse.csr_matrix(shape, dtype=data.dtype)
+            matrix.data = data
+            matrix.indices = views[f"{prefix}:indices"]
+            matrix.indptr = views[f"{prefix}:indptr"]
+            _mark_canonical(matrix)
+            adjacency[(entry["source"], entry["target"])] = matrix
+        network = HeterogeneousInformationNetwork.from_prebuilt(
+            spec["schema"],
+            spec["names"],
+            spec["attributes"],
+            adjacency,
+            num_edges=spec["num_edges"],
+            version=spec["version"],
+        )
+        index = None
+        if spec["index_manifest"] is not None:
+            index = MetaPathIndex.from_arrays(spec["index_manifest"], views)
+        return cls(
+            network,
+            strategy=spec["strategy"],
+            measure=spec["measure"],
+            combine=spec["combine"],
+            index=index,
+            resilience=spec["resilience"],
+            row_cache_rows=spec["row_cache_rows"],
+            collect_stats=spec["collect_stats"],
+        )

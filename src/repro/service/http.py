@@ -32,6 +32,7 @@ from repro.exceptions import (
     ReproError,
     ServiceClosedError,
     ServiceOverloadedError,
+    WorkerCrashedError,
 )
 from repro.service.service import QueryService
 
@@ -111,6 +112,9 @@ class _Handler(BaseHTTPRequestHandler):
                     "status": "closed" if service.closed else "ok",
                     "engine": service.handle.fingerprint,
                     "network_version": service.handle.version,
+                    "backend": service.config.backend,
+                    "workers": service.config.workers,
+                    "live_workers": service.backend.live_workers(),
                 },
             )
         elif self.path == "/stats":
@@ -164,7 +168,9 @@ class _Handler(BaseHTTPRequestHandler):
         started = time.monotonic()
         try:
             future = service.submit(query_text)
-            cached = future.done()
+            # Set only on the result-cache hit path; `future.done()` would
+            # misreport fast fresh queries that resolve before we look.
+            cached = getattr(future, "from_cache", False)
             result = service.result(future)
         except ServiceOverloadedError as error:
             retry_after = error.retry_after_seconds or 0.1
@@ -175,6 +181,11 @@ class _Handler(BaseHTTPRequestHandler):
             return
         except DeadlineExceededError as error:
             self._error(504, error)
+            return
+        except WorkerCrashedError as error:
+            # The query's worker process died (twice): a server-side fault,
+            # not a client error.
+            self._error(500, error)
             return
         except QueryError as error:
             self._error(400, error)

@@ -1,10 +1,12 @@
 """The concurrent query service: one shared engine, many callers.
 
 :class:`QueryService` turns the batch engine into a long-lived server
-component: a fixed pool of worker threads executes queries against one
-shared :class:`~repro.service.handle.EngineHandle`, a bounded admission
-budget sheds overload with typed errors instead of unbounded queueing, and
-a canonical-form result cache absorbs repeated queries.
+component: a worker pool — threads over the shared engine, or spawned
+processes over zero-copy shared-memory index views
+(:mod:`repro.service.backends`) — executes queries against one shared
+:class:`~repro.service.handle.EngineHandle`, a bounded admission budget
+sheds overload with typed errors instead of unbounded queueing, and a
+canonical-form result cache absorbs repeated queries.
 
 The programmatic surface is future-based so it embeds anywhere::
 
@@ -19,21 +21,33 @@ queue, :class:`~repro.exceptions.QueryError` on a malformed query,
 :class:`~repro.exceptions.ServiceClosedError` after shutdown).  The HTTP
 frontend in :mod:`repro.service.http` is a thin JSON adapter over exactly
 this API.
+
+Backend-agnosticism: the service layer never touches threads or processes
+directly.  It admits a request, hands the canonical query text to the
+backend, and finishes the request from the backend future's done-callback
+— the same code path releases the admission slot whether the query
+succeeded, failed, timed out, was cancelled by a non-drain close, or died
+with a crashed worker process.  That single-exit design is what makes
+``close()`` drain-correct: no path can strand an admission slot.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
-from typing import TYPE_CHECKING
+from concurrent.futures import FIRST_COMPLETED, Future
+from concurrent.futures import wait as futures_wait
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.results import OutlierResult
-from repro.engine.deadline import Deadline
 from repro.hin.network import HeterogeneousInformationNetwork
-from repro.exceptions import ReproError, ServiceClosedError
+from repro.exceptions import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
 from repro.query.ast import Query
 from repro.service.admission import AdmissionController
+from repro.service.backends import ExecutionBackend, make_backend
 from repro.service.cache import ResultCache, canonical_query_key
 from repro.service.config import ServiceConfig
 from repro.service.handle import EngineHandle
@@ -74,14 +88,18 @@ class QueryService:
         The shared engine (network + index + measure), already warmed.
     config:
         Deployment knobs; see :class:`~repro.service.config.ServiceConfig`.
+        ``config.backend`` selects thread or process execution — results
+        are byte-identical either way.
 
     Notes
     -----
-    Lifecycle: the worker pool starts immediately; call :meth:`close` (or
-    use the service as a context manager) to drain and stop it.  After
-    ``close``, :meth:`submit` raises
+    Lifecycle: the worker pool starts immediately (the process backend
+    additionally exports the index into shared memory and spawns workers
+    here); call :meth:`close` (or use the service as a context manager) to
+    drain and stop it.  After ``close``, :meth:`submit` raises
     :class:`~repro.exceptions.ServiceClosedError`; requests admitted before
-    the close still complete.
+    the close still complete, their admission slots are released, and the
+    process backend's shared-memory segment is unlinked.
     """
 
     def __init__(
@@ -94,9 +112,11 @@ class QueryService:
             max_entries=self.config.cache_max_entries,
             ttl_seconds=self.config.cache_ttl_seconds,
         )
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.config.workers,
-            thread_name_prefix="repro-service",
+        self.backend: ExecutionBackend = make_backend(
+            handle,
+            backend=self.config.backend,
+            workers=self.config.workers,
+            timeout_seconds=self.config.timeout_seconds,
         )
         self._lock = threading.Lock()
         self._closed = False
@@ -162,6 +182,10 @@ class QueryService:
             if cached is not None:
                 done: "Future[OutlierResult]" = Future()
                 done.set_result(cached)
+                # Frontends report whether an answer came from the result
+                # cache.  `future.done()` cannot tell them: a fast backend
+                # can resolve a fresh future before the caller samples it.
+                done.from_cache = True
                 return done
             pending = self._pending.get(key)
             if pending is not None:
@@ -170,14 +194,60 @@ class QueryService:
             self.admission.admit(retry_after_seconds=self._retry_after_hint())
             future: "Future[OutlierResult]" = Future()
             self._pending[key] = future
-            self._pool.submit(self._run, key, query, future)
-            return future
+        # Backend interaction happens OUTSIDE the service lock: the backend
+        # takes its own lock, and its done-callbacks re-enter _finish (which
+        # takes ours) — calling across while holding either would deadlock.
+        started = time.monotonic()
+        try:
+            backend_future = self.backend.submit(key)
+        except BaseException as error:
+            # The backend refused (closed race, all workers dead): undo the
+            # admission, fail coalesced waiters, surface to this caller.
+            with self._lock:
+                self._failed += 1
+                self._pending.pop(key, None)
+            self.admission.release()
+            _resolve(future, error=error)
+            raise
+        backend_future.add_done_callback(
+            lambda done_future: self._finish(key, started, future, done_future)
+        )
+        return future
 
     def execute(
         self, query: str | Query, *, timeout: float | None = None
     ) -> OutlierResult:
         """Synchronous convenience: ``submit`` then wait for the result."""
         return self.result(self.submit(query), timeout=timeout)
+
+    def execute_many(
+        self, queries: Sequence[str | Query], *, timeout: float | None = None
+    ) -> list[OutlierResult]:
+        """Run a batch through the service, in input order.
+
+        Unlike :meth:`submit`, a full admission queue does not shed here —
+        the batch *is* the backpressure: when the service is saturated the
+        next submission waits for one of this batch's own in-flight queries
+        to finish and retries.  Errors of individual queries re-raise when
+        their result is collected.
+        """
+        futures: dict[int, "Future[OutlierResult]"] = {}
+        for position, query in enumerate(queries):
+            while True:
+                try:
+                    futures[position] = self.submit(query)
+                    break
+                except ServiceOverloadedError:
+                    ours = [f for f in futures.values() if not f.done()]
+                    if ours:
+                        futures_wait(ours, return_when=FIRST_COMPLETED)
+                    else:
+                        # Saturated by *other* callers: brief backoff.
+                        time.sleep(0.005)
+        return [
+            futures[position].result(timeout=timeout)
+            for position in range(len(futures))
+        ]
 
     @staticmethod
     def result(
@@ -191,38 +261,44 @@ class QueryService:
         return self.cache.invalidate()
 
     # ------------------------------------------------------------------
-    # Worker body
+    # Completion (single exit path for every submitted request)
     # ------------------------------------------------------------------
-    def _run(
-        self, key: str, query: str | Query, future: "Future[OutlierResult]"
+    def _finish(
+        self,
+        key: str,
+        started: float,
+        future: "Future[OutlierResult]",
+        backend_future: "Future[OutlierResult]",
     ) -> None:
-        started = time.monotonic()
-        try:
-            deadline = (
-                Deadline(self.config.timeout_seconds)
-                if self.config.timeout_seconds is not None
-                else None
+        result: OutlierResult | None = None
+        error: BaseException | None = None
+        if backend_future.cancelled():
+            error = ServiceClosedError(
+                "the query service shut down before this request ran"
             )
-            result = self.handle.execute(query, deadline=deadline)
-        except BaseException as error:  # noqa: BLE001 - forwarded to waiters
-            with self._lock:
-                self._failed += 1
-                self._pending.pop(key, None)
-            self.admission.release()
-            _resolve(future, error=error)
-            return
-        self.cache.put(key, result, version=self.handle.version)
+        else:
+            error = backend_future.exception()
+            if error is None:
+                result = backend_future.result()
+        if result is not None:
+            self.cache.put(key, result, version=self.handle.version)
         elapsed = time.monotonic() - started
         with self._lock:
-            self._completed += 1
             self._pending.pop(key, None)
-            self._latency_ewma = (
-                elapsed
-                if self._latency_ewma is None
-                else 0.8 * self._latency_ewma + 0.2 * elapsed
-            )
+            if error is None:
+                self._completed += 1
+                self._latency_ewma = (
+                    elapsed
+                    if self._latency_ewma is None
+                    else 0.8 * self._latency_ewma + 0.2 * elapsed
+                )
+            else:
+                self._failed += 1
+        # Every admitted request reaches exactly this release, on success,
+        # failure, timeout, crash-retry exhaustion, and non-drain close —
+        # the drain-correctness invariant close() relies on.
         self.admission.release()
-        _resolve(future, result=result)
+        _resolve(future, result=result, error=error)
 
     def _retry_after_hint(self) -> float:
         """Expected wait for a freed slot: queue drain time at recent pace."""
@@ -238,26 +314,21 @@ class QueryService:
         return self._closed
 
     def close(self, *, drain: bool = True) -> None:
-        """Stop accepting requests; optionally wait for in-flight ones.
+        """Stop accepting requests, settle in-flight ones, tear down workers.
 
-        Idempotent.  With ``drain=False`` queued-but-unstarted work is
-        cancelled (their futures raise ``CancelledError``).
+        Idempotent.  With ``drain=True`` (the default) every in-flight
+        request completes, its future resolves, and its admission slot is
+        released **before** workers are torn down; with ``drain=False``
+        queued-but-unstarted work resolves with
+        :class:`~repro.exceptions.ServiceClosedError` (or cancellation)
+        instead of executing.  Either way the process backend unlinks its
+        shared-memory segment before this returns.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            abandoned = [] if drain else list(self._pending.values())
-        self._pool.shutdown(wait=drain, cancel_futures=not drain)
-        # Without a drain, queued-but-unstarted requests never reach _run;
-        # fail their futures so no caller blocks forever on a dead service.
-        for future in abandoned:
-            _resolve(
-                future,
-                error=ServiceClosedError(
-                    "the query service shut down before this request ran"
-                ),
-            )
+        self.backend.close(drain=drain)
 
     def __enter__(self) -> "QueryService":
         return self
@@ -269,11 +340,13 @@ class QueryService:
         """One JSON-safe snapshot of every service counter.
 
         Shape: ``{"service": ..., "admission": ..., "cache": ...,
-        "engine": ...}`` — the HTTP frontend returns it verbatim from
-        ``GET /stats``.
+        "engine": ..., "backend": ...}`` — the HTTP frontend returns it
+        verbatim from ``GET /stats``.  Each section is captured under its
+        owner's lock, so every section is internally consistent.
         """
         with self._lock:
             service = {
+                "backend": self.config.backend,
                 "workers": self.config.workers,
                 "queue_depth": self.config.queue_depth,
                 "timeout_seconds": self.config.timeout_seconds,
@@ -291,11 +364,15 @@ class QueryService:
             "index_size_bytes": self.handle.index_size_bytes(),
         }
         if self.handle.row_cache is not None:
-            engine["row_cache_hit_rate"] = self.handle.row_cache.hit_rate
-            engine["row_cache_rows"] = self.handle.row_cache.cached_rows
+            # One-lock snapshot: hit rate and row count from the same moment.
+            row_cache = self.handle.row_cache.snapshot()
+            engine["row_cache_hit_rate"] = row_cache["hit_rate"]
+            engine["row_cache_rows"] = row_cache["rows"]
+            engine["row_cache"] = row_cache
         return {
             "service": service,
             "admission": self.admission.snapshot(),
             "cache": self.cache.snapshot(),
             "engine": engine,
+            "backend": self.backend.stats(),
         }

@@ -1,0 +1,69 @@
+"""Deterministic CPU-bound workload emulation for backend benchmarks.
+
+Measuring "the process backend scales where threads cannot" needs a
+workload whose serialization behavior is *architectural*, not incidental:
+real GIL contention depends on the host's core count, scheduler, and SciPy
+release-points, which makes a scaling assertion flaky on 1-core CI runners
+and meaningless across machines.
+
+:class:`GilBoundNetOutMeasure` models the Python-side share of query
+evaluation (parse, per-path aggregation, result assembly — the part the
+GIL serializes) explicitly: every ``score`` call performs the normal
+NetOut computation plus ``compute_seconds`` of simulated interpreter work
+holding a **module-level, per-process lock**.  Threads in one process
+serialize on that lock exactly as they would on the GIL; worker processes
+each have their own lock (and their own GIL) and proceed in parallel.
+The resulting thread-vs-process throughput curve reproduces the physics
+the benchmark is about — N-way parallelism of the Python share — on any
+host, including single-core containers, and is deterministic run to run.
+
+The class lives in an importable module (not the benchmark file) so the
+spawn-based process backend can pickle it by reference into workers; the
+lock deliberately stays module state and never crosses the pickle
+boundary.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.measures import NetOutMeasure
+
+__all__ = ["GilBoundNetOutMeasure"]
+
+#: One lock per process, like the GIL it stands in for.  Never pickled:
+#: workers import this module and get their own instance.
+_INTERPRETER_LOCK = threading.Lock()
+
+
+class GilBoundNetOutMeasure(NetOutMeasure):
+    """NetOut plus ``compute_seconds`` of GIL-emulating interpreter work.
+
+    Parameters
+    ----------
+    compute_seconds:
+        Simulated Python-side compute per scoring call.  Held under the
+        per-process lock, so concurrency within one process serializes and
+        concurrency across processes does not — the distinction the
+        thread-vs-process scaling benchmark exists to measure.
+    """
+
+    name = "netout-gilbound"
+
+    def __init__(self, compute_seconds: float = 0.02) -> None:
+        super().__init__()
+        self.compute_seconds = compute_seconds
+
+    def score(self, phi_candidates, phi_reference):
+        with _INTERPRETER_LOCK:
+            # sleep() releases the real GIL, so the serialization measured
+            # here comes from the explicit lock — deterministic on any
+            # machine, independent of host core count.
+            time.sleep(self.compute_seconds)
+        return super().score(phi_candidates, phi_reference)
+
+    def __reduce__(self):
+        # Explicit reduce keeps the wire form to (class, args): the lock is
+        # module state in the importing process, never instance state.
+        return (self.__class__, (self.compute_seconds,))

@@ -61,7 +61,13 @@ class TestGetEndpoints:
         host, port, _ = served
         status, _, payload = request(host, port, "GET", "/stats")
         assert status == 200
-        assert set(payload) == {"service", "admission", "cache", "engine"}
+        assert set(payload) == {
+            "service",
+            "admission",
+            "cache",
+            "engine",
+            "backend",
+        }
 
     def test_schema(self, served):
         host, port, _ = served

@@ -228,7 +228,13 @@ class TestStats:
             service.execute(QUERY, timeout=10.0)
             service.execute(QUERY, timeout=10.0)  # cached
             stats = service.stats()
-        assert set(stats) == {"service", "admission", "cache", "engine"}
+        assert set(stats) == {
+            "service",
+            "admission",
+            "cache",
+            "engine",
+            "backend",
+        }
         assert stats["service"]["submitted"] == 2
         assert stats["service"]["completed"] == 1
         assert stats["service"]["failed"] == 0

@@ -29,6 +29,7 @@ from repro.exceptions import (
     ServiceOverloadedError,
     TransientFaultError,
     VertexNotFoundError,
+    WorkerCrashedError,
 )
 from repro.hin.network import HeterogeneousInformationNetwork
 from repro.hin.schema import NetworkSchema, bibliographic_schema
@@ -147,6 +148,18 @@ def raise_service_closed():
     )
 
 
+def raise_worker_crashed():
+    # Through the process backend's wire-form rebuild: a worker death report
+    # crossing the process boundary comes back as the typed error.  (The
+    # end-to-end kill-a-live-worker path is covered in
+    # tests/service/test_process_backend.py.)
+    from repro.service.backends import _rebuild_error
+
+    raise _rebuild_error(
+        "WorkerCrashedError", "worker process died twice", {}
+    )
+
+
 RAISERS = {
     SchemaError: raise_schema_error,
     NetworkError: raise_network_error,
@@ -162,6 +175,7 @@ RAISERS = {
     TransientFaultError: raise_transient_fault,
     ServiceOverloadedError: raise_service_overloaded,
     ServiceClosedError: raise_service_closed,
+    WorkerCrashedError: raise_worker_crashed,
 }
 
 
