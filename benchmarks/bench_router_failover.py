@@ -1,0 +1,265 @@
+"""Replica-router failover overhead — chaos benchmark for ``repro route``.
+
+The fault-tolerance contract of :mod:`repro.service.router` is only worth
+its complexity if (a) routing through it does not change any answer and
+(b) losing a replica costs a blip, not the fleet.  This harness measures
+both, over real HTTP against in-thread replicas:
+
+1. **Correctness** — every query's ``result`` payload routed through the
+   fleet is byte-identical (canonical JSON) to the same query answered by
+   a single direct replica.
+2. **Failover overhead** — killing a replica mid-run must leave
+   steady-state qps (the rounds after the disruption) within 10% of the
+   same run's pre-kill steady state — the no-kill baseline; every client
+   request through the kill still answers 200.  The comparison is *paired*
+   (windows of one run, same process, seconds apart) because on a shared
+   box two separate runs routinely differ by >10% from scheduler noise
+   alone — a cross-run ratio would benchmark the machine, not the router.
+
+The machine-readable baseline lands in ``benchmarks/out/BENCH_router.json``.
+Quick mode (``BENCH_SMOKE=1``, CI's bench-smoke job) shrinks the workload
+and rounds; the asserted contract is identical.
+"""
+
+import json
+import os
+import statistics
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.datagen.workloads import generate_query_set
+from repro.engine.detector import OutlierDetector
+from repro.query.templates import TEMPLATE_Q1
+from repro.service import (
+    QueryService,
+    Router,
+    RouterConfig,
+    ServiceConfig,
+    make_router_server,
+    make_server,
+)
+from repro.service.cache import canonical_query_key
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+WORKLOAD_SIZE = 12 if SMOKE else 32
+ROUNDS = 8 if SMOKE else 10
+CLIENT_THREADS = 4 if SMOKE else 8
+#: The kill lands mid-round KILL_ROUND; round 0 is the cold warmup.
+KILL_ROUND = 4 if SMOKE else 5
+#: Rounds per steady-state window (pre-kill and post-kill); the window
+#: statistic is the *median*, so one scheduler hiccup cannot fail the run.
+STEADY_ROUNDS = 3
+
+
+class _Replica:
+    """One in-thread QueryService + HTTP server (stoppable = killable)."""
+
+    def __init__(self, network):
+        import threading
+
+        # Result caching off: every request recomputes, so round qps is
+        # compute-bound and stable — a cached workload would measure
+        # thread-scheduling noise instead of serving capacity.
+        self.service = QueryService.from_network(
+            network,
+            ServiceConfig(workers=2, cache_max_entries=0),
+            strategy="pm",
+        )
+        self.server = make_server(self.service)
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self.thread.start()
+        self.host, self.port = self.server.server_address[:2]
+        self.stopped = False
+
+    def kill(self):
+        """Abrupt stop: the listening socket dies like a SIGKILLed process."""
+        if self.stopped:
+            return
+        self.stopped = True
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=10.0)
+
+    def close(self):
+        self.kill()
+        self.service.close()
+
+
+def _post(host, port, query):
+    import http.client
+
+    connection = http.client.HTTPConnection(host, port, timeout=30.0)
+    try:
+        body = json.dumps({"query": query}).encode("utf-8")
+        connection.request(
+            "POST", "/query", body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def _canonical_result(payload: dict) -> bytes:
+    """The answer alone, canonical JSON — ``elapsed_ms``/``cached`` vary."""
+    return json.dumps(payload["result"], sort_keys=True).encode("utf-8")
+
+
+def _workload(network) -> list[str]:
+    """Distinct executable queries (canonical forms unique)."""
+    candidates = generate_query_set(
+        network, TEMPLATE_Q1, WORKLOAD_SIZE * 3, seed=11
+    )
+    batch = OutlierDetector(network, strategy="baseline").detect_many(
+        list(candidates)
+    )
+    seen, workload = set(), []
+    for position, query in enumerate(candidates):
+        if position in batch.errors:
+            continue
+        key = canonical_query_key(query)
+        if key in seen:
+            continue
+        seen.add(key)
+        workload.append(query)
+        if len(workload) == WORKLOAD_SIZE:
+            break
+    assert len(workload) >= max(8, WORKLOAD_SIZE // 2)
+    return workload
+
+
+def _run_rounds(host, port, workload, *, kill_round=None, on_kill=None):
+    """Drive ``ROUNDS`` concurrent rounds; returns (per-round qps, payloads,
+    statuses).  ``on_kill()`` fires once, mid-round ``kill_round``."""
+    qps, payloads, statuses = [], {}, []
+    with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+        for round_number in range(ROUNDS):
+            started = time.perf_counter()
+            futures = [
+                pool.submit(_post, host, port, query) for query in workload
+            ]
+            if round_number == kill_round and on_kill is not None:
+                on_kill()
+                on_kill = None
+            for query, future in zip(workload, futures):
+                status, payload = future.result()
+                statuses.append(status)
+                if status == 200:
+                    payloads[canonical_query_key(query)] = _canonical_result(
+                        payload
+                    )
+            qps.append(len(workload) / (time.perf_counter() - started))
+    return qps, payloads, statuses
+
+
+def _fleet(network, count=3):
+    replicas = {f"replica-{i}": _Replica(network) for i in range(count)}
+    router = Router(
+        list(replicas),
+        RouterConfig(
+            probe_interval_seconds=0.2,
+            attempt_timeout_seconds=10.0,
+            failover_backoff_seconds=0.0,
+            breaker_threshold=2,
+            breaker_reset_seconds=1.0,
+        ),
+    )
+    for replica_id, replica in replicas.items():
+        router.set_replica_address(replica_id, replica.host, replica.port)
+    return replicas, router
+
+
+@pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+def test_router_failover_overhead(bench_network, json_report, report):
+    import threading
+
+    workload = _workload(bench_network)
+
+    # -- Baseline: one direct replica, no router in the path -------------
+    direct = _Replica(bench_network)
+    try:
+        _, direct_payloads, direct_statuses = _run_rounds(
+            direct.host, direct.port, workload
+        )
+    finally:
+        direct.close()
+    assert all(status == 200 for status in direct_statuses)
+
+    # -- Chaos run: one fleet, a SIGKILL-equivalent mid-run ---------------
+    replicas, router = _fleet(bench_network)
+    server = make_router_server(router)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    victim = router.ring.owner(canonical_query_key(workload[0]))
+    try:
+        qps, routed_payloads, routed_statuses = _run_rounds(
+            host,
+            port,
+            workload,
+            kill_round=KILL_ROUND,
+            on_kill=replicas[victim].kill,
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)
+        for replica in replicas.values():
+            replica.close()
+
+    # -- Correctness: routing (and failover) never changes an answer -----
+    assert routed_payloads == direct_payloads
+    # -- Availability: the kill is invisible to clients -------------------
+    assert all(status == 200 for status in routed_statuses)
+
+    # -- Overhead: post-kill steady state vs the same run's pre-kill ------
+    # window (round 0 is the cold warmup; the kill round itself is the
+    # disruption being absorbed, so neither window includes it).
+    before = qps[KILL_ROUND - STEADY_ROUNDS : KILL_ROUND]
+    after = qps[-STEADY_ROUNDS:]
+    steady_before = statistics.median(before)
+    steady_after = statistics.median(after)
+    ratio = steady_after / steady_before
+
+    lines = [
+        f"workload: {len(workload)} distinct queries x {ROUNDS} rounds, "
+        f"{CLIENT_THREADS} client threads, 3 replicas",
+        "qps per round: "
+        + ", ".join(f"{value:.1f}" for value in qps)
+        + f"   ({victim} killed during round {KILL_ROUND + 1})",
+        f"steady-state qps: before kill {steady_before:.1f}, "
+        f"after kill {steady_after:.1f}  (ratio {ratio:.3f})",
+        f"payloads byte-identical to direct replica: "
+        f"{len(direct_payloads)} queries",
+    ]
+    report("BENCH_router_failover", "\n".join(lines))
+    json_report(
+        "BENCH_router",
+        {
+            "mode": "smoke" if SMOKE else "full",
+            "workload_size": len(workload),
+            "rounds": ROUNDS,
+            "kill_round": KILL_ROUND,
+            "client_threads": CLIENT_THREADS,
+            "replicas": 3,
+            "qps_per_round": [round(v, 2) for v in qps],
+            "steady_state_qps_before_kill": round(steady_before, 2),
+            "steady_state_qps_after_kill": round(steady_after, 2),
+            "steady_state_ratio": round(ratio, 4),
+            "payloads_identical_to_direct": True,
+            "client_failures": sum(1 for s in routed_statuses if s != 200),
+        },
+    )
+
+    # The fleet must absorb the loss: post-kill steady state within 10%
+    # of the pre-kill (no-kill baseline) steady state.
+    assert ratio >= 0.9, (
+        f"steady-state qps degraded {1 - ratio:.1%} after a replica kill "
+        f"(before {steady_before:.1f}, after {steady_after:.1f})"
+    )

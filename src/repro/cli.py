@@ -9,10 +9,16 @@ Subcommands::
     repro schema   --network corpus.json
     repro shell    --network corpus.json
     repro serve    --network corpus.json --port 8080 --workers 8
+    repro route    --network corpus.json --replicas 3 --port 8080
 
 ``repro serve`` runs the concurrent query service of
 :mod:`repro.service` behind a stdlib JSON/HTTP frontend — see
 ``docs/service.md`` for endpoints and tuning.
+
+``repro route`` runs a supervised fleet of ``repro serve`` replicas
+behind a consistent-hash router with health probes, per-replica circuit
+breakers, and failover — the fault-tolerant serving tier (see
+``docs/service.md``, "Replica routing & failover").
 
 ``repro shell`` is a small REPL: enter queries terminated by ``;`` and use
 dot-commands (``.help``, ``.schema``, ``.strategy pm``, ``.measure cossim``,
@@ -224,6 +230,139 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="exit after serving N HTTP requests (smoke tests)",
+    )
+
+    route = commands.add_parser(
+        "route",
+        help="run supervised serve replicas behind a consistent-hash router",
+    )
+    route.add_argument("--network", required=True, help="network JSON path")
+    route.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        metavar="N",
+        help="number of supervised `repro serve` replica processes",
+    )
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="router listen port (0 binds an ephemeral port and prints it)",
+    )
+    # Per-replica serve knobs, forwarded verbatim to every replica argv.
+    route.add_argument(
+        "--strategy", choices=("baseline", "pm", "spm"), default="pm"
+    )
+    route.add_argument(
+        "--measure", default="netout", help="outlierness measure name"
+    )
+    route.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="execution backend of each replica",
+    )
+    route.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="query workers per replica (0 auto-sizes)",
+    )
+    route.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission queue depth per replica (429 beyond it)",
+    )
+    route.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="replica result-cache TTL; 0 disables the result cache",
+    )
+    # Router knobs.
+    route.add_argument(
+        "--virtual-nodes",
+        type=int,
+        default=64,
+        metavar="N",
+        help="virtual nodes per replica on the consistent-hash ring",
+    )
+    route.add_argument(
+        "--probe-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="health probe sweep interval (bounds dead-replica routing)",
+    )
+    route.add_argument(
+        "--attempt-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-attempt connect/read timeout toward a replica",
+    )
+    route.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="distinct replicas tried per request before 503",
+    )
+    route.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive failures opening a replica's circuit breaker",
+    )
+    route.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="open-breaker cool-down before a half-open trial",
+    )
+    # Supervisor knobs.
+    route.add_argument(
+        "--restart-base-delay",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="first restart backoff (doubles per consecutive restart)",
+    )
+    route.add_argument(
+        "--max-restarts-in-window",
+        type=int,
+        default=5,
+        metavar="N",
+        help="restarts tolerated per window before quarantine",
+    )
+    route.add_argument(
+        "--restart-window",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="sliding window for the restart budget",
+    )
+    route.add_argument(
+        "--stagger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="delay between initial replica launches",
+    )
+    route.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after routing N HTTP requests (smoke tests)",
     )
 
     return parser
@@ -464,15 +603,26 @@ def _command_serve(args, out) -> int:
         max_requests=args.max_requests,
     )
     # SIGTERM (systemd/container stop) takes the same clean path as
-    # max-requests self-shutdown and Ctrl-C: stop accepting, drain in-flight
-    # queries, release admission slots, tear down workers, unlink shared
-    # memory.  Signals only deliver to the main thread; when serve runs
-    # embedded on another thread (tests), skip installation.
+    # max-requests self-shutdown and Ctrl-C — but drain-aware: the service
+    # flips to draining first, so /healthz answers 503 "draining" and the
+    # replica router pulls this replica from rotation, then the socket
+    # stays up until in-flight queries finish (bounded) before shutdown.
+    # Signals only deliver to the main thread; when serve runs embedded on
+    # another thread (tests), skip installation.
+    def _drain_then_shutdown() -> None:
+        import time as _time
+
+        service.begin_drain()
+        deadline = _time.monotonic() + 30.0
+        while service.admission.in_flight > 0 and _time.monotonic() < deadline:
+            _time.sleep(0.05)
+        server.shutdown()
+
     if threading.current_thread() is threading.main_thread():
         signal.signal(
             signal.SIGTERM,
             lambda signum, frame: threading.Thread(
-                target=server.shutdown, daemon=True
+                target=_drain_then_shutdown, daemon=True
             ).start(),
         )
     host, port = server.server_address[:2]
@@ -498,6 +648,115 @@ def _command_serve(args, out) -> int:
         service.close(drain=True)
         print(
             f"served {server.served_count} requests; shut down cleanly",
+            file=out,
+            flush=True,
+        )
+    return 0
+
+
+def _command_route(args, out) -> int:
+    import os
+    import signal
+    import threading
+
+    import repro
+    from repro.service import (
+        HealthProber,
+        ReplicaSupervisor,
+        Router,
+        RouterConfig,
+        SupervisorConfig,
+        make_router_server,
+    )
+
+    if not Path(args.network).exists():
+        raise ReproError(f"network file not found: {args.network}")
+
+    # Replica children run `python -m repro`; make sure they can import it
+    # even when the router itself was started with PYTHONPATH tricks.
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        package_root + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else package_root
+    )
+
+    serve_args = [
+        "--strategy",
+        args.strategy,
+        "--measure",
+        args.measure,
+        "--backend",
+        args.backend,
+        "--workers",
+        str(args.workers),
+        "--queue-depth",
+        str(args.queue_depth),
+        "--cache-ttl",
+        str(args.cache_ttl),
+    ]
+    commands = ReplicaSupervisor.serve_commands(
+        sys.executable, args.network, args.replicas, serve_args=serve_args
+    )
+    router_config = RouterConfig(
+        virtual_nodes=args.virtual_nodes,
+        probe_interval_seconds=args.probe_interval,
+        attempt_timeout_seconds=args.attempt_timeout,
+        max_attempts=args.max_attempts,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_seconds=args.breaker_reset,
+    )
+    supervisor_config = SupervisorConfig(
+        restart_base_delay_seconds=args.restart_base_delay,
+        max_restarts_in_window=args.max_restarts_in_window,
+        restart_window_seconds=args.restart_window,
+        stagger_seconds=args.stagger,
+    )
+    router = Router(list(commands), router_config)
+    supervisor = ReplicaSupervisor(
+        commands,
+        supervisor_config,
+        on_up=router.set_replica_address,
+        on_down=router.mark_replica_down,
+        env=env,
+    )
+    supervisor.start()
+    prober = HealthProber(router)
+    prober.start()
+    server = make_router_server(
+        router,
+        host=args.host,
+        port=args.port,
+        supervisor=supervisor,
+        max_requests=args.max_requests,
+    )
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(
+            signal.SIGTERM,
+            lambda signum, frame: threading.Thread(
+                target=server.shutdown, daemon=True
+            ).start(),
+        )
+    host, port = server.server_address[:2]
+    print(
+        f"routing {args.network} on http://{host}:{port} "
+        f"({args.replicas} replicas, {args.backend} backend, "
+        f"{args.max_attempts} attempts, "
+        f"probe every {args.probe_interval:g}s)",
+        file=out,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()
+        prober.stop()
+        supervisor.stop()
+        print(
+            f"routed {server.served_count} requests; shut down cleanly",
             file=out,
             flush=True,
         )
@@ -623,6 +882,7 @@ def main(argv: list[str] | None = None, *, out=None, stdin=None) -> int:
         "stats": lambda: _command_stats(args, out),
         "shell": lambda: _command_shell(args, out, stdin),
         "serve": lambda: _command_serve(args, out),
+        "route": lambda: _command_route(args, out),
     }
     try:
         return handlers[args.command]()

@@ -31,9 +31,10 @@ Example
 from __future__ import annotations
 
 import random
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.exceptions import ExecutionError, TransientFaultError
 
@@ -49,12 +50,20 @@ __all__ = [
 #: The instrumented seams, in the order a query traverses them.  The
 #: ``service.enqueue`` point sits in the service layer's admission path so
 #: the harness can simulate queue stalls and verify load-shedding behavior.
+#: The ``router.*`` points sit in the replica router's HTTP client
+#: (:mod:`repro.service.router`), one per phase of a proxied request —
+#: ``connect`` (connection refused / replica gone), ``send`` (request lost
+#: mid-write), and ``recv`` (mid-body disconnect, or slow-response latency
+#: via :attr:`FaultRule.delay_seconds`).
 FAULT_POINTS = (
     "index_build",
     "cache_read",
     "matrix_multiply",
     "io",
     "service.enqueue",
+    "router.connect",
+    "router.send",
+    "router.recv",
 )
 
 
@@ -81,6 +90,13 @@ class FaultRule:
         :class:`~repro.exceptions.TransientFaultError`).
     message:
         Optional message override for the raised error.
+    delay_seconds:
+        When set, a firing rule *delays* the call (through the injector's
+        injectable ``sleep``) instead of raising — latency injection for
+        slow-dependency scenarios (e.g. a replica answering just past the
+        router's per-attempt timeout).  A delayed call then proceeds
+        normally; combine two rules (one delaying, one raising) to model a
+        slow *and* failing dependency.
     """
 
     point: str
@@ -89,6 +105,7 @@ class FaultRule:
     after_calls: int = 0
     error: type[Exception] = TransientFaultError
     message: str = ""
+    delay_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.point not in FAULT_POINTS:
@@ -100,6 +117,10 @@ class FaultRule:
             raise ExecutionError(
                 f"fault probability must be in [0, 1], got {self.probability}"
             )
+        if self.delay_seconds is not None and self.delay_seconds < 0:
+            raise ExecutionError(
+                f"fault delay must be >= 0, got {self.delay_seconds}"
+            )
 
 
 @dataclass
@@ -109,12 +130,15 @@ class FaultInjector:
     Not installed globally until :meth:`activate` (or the :func:`inject`
     context manager) is used.  ``calls`` and ``fired`` expose per-point
     counters so tests can assert exactly how many faults were injected.
+    ``sleep`` implements delay rules and is injectable so latency-injection
+    tests can run in zero wall time.
     """
 
     rules: Sequence[FaultRule] = ()
     seed: int = 0
     calls: dict[str, int] = field(default_factory=dict)
     fired: dict[str, int] = field(default_factory=dict)
+    sleep: Callable[[float], None] = time.sleep
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
@@ -135,6 +159,11 @@ class FaultInjector:
                 continue
             self._rule_fired[position] += 1
             self.fired[point] = self.fired.get(point, 0) + 1
+            if rule.delay_seconds is not None:
+                # Latency injection: stall the call, then let it proceed
+                # (later rules at the same point still get their say).
+                self.sleep(rule.delay_seconds)
+                continue
             message = rule.message or (
                 f"injected fault at {point!r} "
                 f"(call {call_number}, firing {self._rule_fired[position]})"

@@ -18,6 +18,14 @@ ROADMAP's production north star actually needs:
   ``submit()`` futures, ``execute()`` sync calls, ``stats()`` snapshots.
 * :mod:`repro.service.http` — a stdlib-only JSON/HTTP frontend, exposed on
   the CLI as ``repro serve``.
+* :mod:`repro.service.router` / :mod:`repro.service.probe` /
+  :mod:`repro.service.supervisor` — fault-tolerant replica routing: a
+  :class:`~repro.service.supervisor.ReplicaSupervisor` keeps N ``repro
+  serve`` replicas alive (staggered restarts, exponential backoff with
+  jitter, crash-loop quarantine) while a consistent-hash
+  :class:`~repro.service.router.Router` steers canonical query keys onto
+  healthy replicas with health probes, per-replica circuit breakers, and
+  failover — exposed on the CLI as ``repro route``.
 
 Quickstart
 ----------
@@ -36,22 +44,43 @@ True
 from repro.service.admission import AdmissionController
 from repro.service.backends import ProcessBackend, ThreadBackend, make_backend
 from repro.service.cache import ResultCache, canonical_query_key
-from repro.service.config import ServiceConfig, auto_worker_count
+from repro.service.config import (
+    RouterConfig,
+    ServiceConfig,
+    SupervisorConfig,
+    auto_worker_count,
+)
 from repro.service.handle import EngineHandle
 from repro.service.http import ServiceHTTPServer, make_server
+from repro.service.probe import HealthProber
+from repro.service.router import (
+    HashRing,
+    Router,
+    RouterHTTPServer,
+    make_router_server,
+)
 from repro.service.service import QueryService
+from repro.service.supervisor import ReplicaSupervisor
 
 __all__ = [
     "AdmissionController",
     "EngineHandle",
+    "HashRing",
+    "HealthProber",
     "ProcessBackend",
     "QueryService",
+    "ReplicaSupervisor",
     "ResultCache",
+    "Router",
+    "RouterConfig",
+    "RouterHTTPServer",
     "ServiceConfig",
     "ServiceHTTPServer",
+    "SupervisorConfig",
     "ThreadBackend",
     "auto_worker_count",
     "canonical_query_key",
     "make_backend",
+    "make_router_server",
     "make_server",
 ]

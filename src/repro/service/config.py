@@ -16,7 +16,12 @@ from dataclasses import dataclass
 
 from repro.exceptions import ServiceError
 
-__all__ = ["ServiceConfig", "auto_worker_count"]
+__all__ = [
+    "ServiceConfig",
+    "RouterConfig",
+    "SupervisorConfig",
+    "auto_worker_count",
+]
 
 #: Execution backends understood by the service layer.
 BACKENDS = ("thread", "process")
@@ -113,3 +118,163 @@ class ServiceConfig:
     def capacity(self) -> int:
         """Maximum concurrently admitted requests (executing + queued)."""
         return self.workers + self.queue_depth
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tuning knobs for the consistent-hash replica router.
+
+    Attributes
+    ----------
+    virtual_nodes:
+        Ring positions per replica.  More virtual nodes smooth the key
+        distribution (the classic consistent-hashing trade: memory and
+        lookup cost vs balance); 64 keeps per-replica load within a few
+        percent of even for small fleets.
+    probe_interval_seconds:
+        Period of the active health probe against each replica's
+        ``/healthz``.  This bounds how long a dead or draining replica can
+        keep receiving fresh keys: one interval.
+    probe_timeout_seconds:
+        Socket timeout of one probe request.
+    attempt_timeout_seconds:
+        Per-replica socket timeout for one forwarded request; an overrun
+        counts as that replica failing and triggers failover.
+    max_attempts:
+        Distinct replicas tried (in ring order) before the router gives up
+        with :class:`~repro.exceptions.NoReplicasAvailableError`.
+    failover_backoff_seconds:
+        Pause between failover attempts of one request — long enough to
+        avoid hammering a fleet that is restarting, short enough that a
+        client barely notices a single failover.
+    breaker_threshold, breaker_reset_seconds:
+        Per-replica circuit-breaker settings (consecutive failures to open;
+        open window before the half-open trial).  Reuses
+        :class:`~repro.engine.resilience.CircuitBreaker`.
+    """
+
+    virtual_nodes: int = 64
+    probe_interval_seconds: float = 1.0
+    probe_timeout_seconds: float = 2.0
+    attempt_timeout_seconds: float = 30.0
+    max_attempts: int = 3
+    failover_backoff_seconds: float = 0.02
+    breaker_threshold: int = 3
+    breaker_reset_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.virtual_nodes < 1:
+            raise ServiceError(
+                f"virtual_nodes must be >= 1, got {self.virtual_nodes}"
+            )
+        if self.probe_interval_seconds <= 0:
+            raise ServiceError(
+                "probe_interval_seconds must be positive, got "
+                f"{self.probe_interval_seconds}"
+            )
+        if self.probe_timeout_seconds <= 0:
+            raise ServiceError(
+                "probe_timeout_seconds must be positive, got "
+                f"{self.probe_timeout_seconds}"
+            )
+        if self.attempt_timeout_seconds <= 0:
+            raise ServiceError(
+                "attempt_timeout_seconds must be positive, got "
+                f"{self.attempt_timeout_seconds}"
+            )
+        if self.max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.failover_backoff_seconds < 0:
+            raise ServiceError(
+                "failover_backoff_seconds must be >= 0, got "
+                f"{self.failover_backoff_seconds}"
+            )
+        if self.breaker_threshold < 1:
+            raise ServiceError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_reset_seconds <= 0:
+            raise ServiceError(
+                "breaker_reset_seconds must be positive, got "
+                f"{self.breaker_reset_seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Restart policy for supervised ``repro serve`` replica processes.
+
+    Attributes
+    ----------
+    restart_base_delay_seconds, restart_multiplier, restart_max_delay_seconds:
+        Exponential backoff between successive restarts of one replica:
+        ``base * multiplier**(restart - 1)``, capped at the max.
+    restart_jitter_fraction:
+        Uniform jitter applied to each delay (``delay * (1 ± fraction)``)
+        so a fleet-wide crash does not restart in lockstep and hammer the
+        shared network file / CPU simultaneously.
+    max_restarts_in_window, restart_window_seconds:
+        The crash-loop quarantine budget: a replica restarted more than
+        ``max_restarts_in_window`` times within a sliding
+        ``restart_window_seconds`` window is *quarantined* — taken out of
+        rotation permanently (until an operator restarts the router) rather
+        than forking forever.
+    start_timeout_seconds:
+        How long one replica may take to print its serving banner before
+        start-up counts as a failure.
+    stagger_seconds:
+        Pause between initial replica launches, so N index builds do not
+        all land on the same cores at the same instant.
+    """
+
+    restart_base_delay_seconds: float = 0.5
+    restart_multiplier: float = 2.0
+    restart_max_delay_seconds: float = 15.0
+    restart_jitter_fraction: float = 0.2
+    max_restarts_in_window: int = 5
+    restart_window_seconds: float = 60.0
+    start_timeout_seconds: float = 120.0
+    stagger_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.restart_base_delay_seconds < 0:
+            raise ServiceError(
+                "restart_base_delay_seconds must be >= 0, got "
+                f"{self.restart_base_delay_seconds}"
+            )
+        if self.restart_multiplier < 1.0:
+            raise ServiceError(
+                "restart_multiplier must be >= 1, got "
+                f"{self.restart_multiplier}"
+            )
+        if self.restart_max_delay_seconds < self.restart_base_delay_seconds:
+            raise ServiceError(
+                "restart_max_delay_seconds must be >= the base delay, got "
+                f"{self.restart_max_delay_seconds}"
+            )
+        if not 0.0 <= self.restart_jitter_fraction <= 1.0:
+            raise ServiceError(
+                "restart_jitter_fraction must be in [0, 1], got "
+                f"{self.restart_jitter_fraction}"
+            )
+        if self.max_restarts_in_window < 0:
+            raise ServiceError(
+                "max_restarts_in_window must be >= 0, got "
+                f"{self.max_restarts_in_window}"
+            )
+        if self.restart_window_seconds <= 0:
+            raise ServiceError(
+                "restart_window_seconds must be positive, got "
+                f"{self.restart_window_seconds}"
+            )
+        if self.start_timeout_seconds <= 0:
+            raise ServiceError(
+                "start_timeout_seconds must be positive, got "
+                f"{self.start_timeout_seconds}"
+            )
+        if self.stagger_seconds < 0:
+            raise ServiceError(
+                f"stagger_seconds must be >= 0, got {self.stagger_seconds}"
+            )

@@ -8,7 +8,12 @@ Endpoints::
                        -> 429 shed by admission control (Retry-After header)
                        -> 503 service shut down
                        -> 504 per-request deadline exceeded
-    GET  /healthz      -> 200 {"status": "ok", ...}
+    GET  /healthz      -> 200 {"status": "ok", ...} while serving
+                       -> 503 {"status": "draining"} once a graceful drain
+                          has begun (readiness gate: the replica router
+                          pulls the replica from rotation before its
+                          queue empties and the socket dies)
+                       -> 503 {"status": "closed"} after shutdown
     GET  /stats        -> 200 the QueryService.stats() snapshot
     GET  /schema       -> 200 vertex and edge types of the served network
 
@@ -106,10 +111,20 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         service = self.server.service
         if self.path == "/healthz":
+            # Liveness vs readiness: the process is alive (we are
+            # answering), but a draining or closed service must not
+            # receive new queries — 503 tells the router to remove this
+            # replica from rotation while its queue finishes.
+            if service.closed:
+                status_code, status = 503, "closed"
+            elif service.draining:
+                status_code, status = 503, "draining"
+            else:
+                status_code, status = 200, "ok"
             self._send_json(
-                200,
+                status_code,
                 {
-                    "status": "closed" if service.closed else "ok",
+                    "status": status,
                     "engine": service.handle.fingerprint,
                     "network_version": service.handle.version,
                     "backend": service.config.backend,

@@ -120,6 +120,7 @@ class QueryService:
         )
         self._lock = threading.Lock()
         self._closed = False
+        self._draining = False
         #: Identical queries submitted while one is already executing share
         #: its future instead of burning another admission slot.
         self._pending: dict[str, Future] = {}
@@ -173,9 +174,11 @@ class QueryService:
         """
         key = canonical_query_key(query)
         with self._lock:
-            if self._closed:
+            if self._closed or self._draining:
                 raise ServiceClosedError(
-                    "the query service has been shut down; no new requests"
+                    "the query service is draining; no new requests"
+                    if self._draining and not self._closed
+                    else "the query service has been shut down; no new requests"
                 )
             self._submitted += 1
             cached = self.cache.get(key, version=self.handle.version)
@@ -313,6 +316,25 @@ class QueryService:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def draining(self) -> bool:
+        """True once a graceful drain has begun (and until fully closed)."""
+        return self._draining and not self._closed
+
+    def begin_drain(self) -> None:
+        """Stop accepting new requests; keep answering health checks.
+
+        The liveness/readiness split a replica router needs: after this
+        call ``/healthz`` reports ``503 {"status": "draining"}`` (the
+        router removes the replica from rotation), :meth:`submit` raises
+        :class:`~repro.exceptions.ServiceClosedError`, but in-flight
+        requests keep executing and the HTTP socket stays up until
+        :meth:`close` — so the queue drains *visibly* instead of the
+        socket dying mid-request.  Idempotent; a no-op after ``close``.
+        """
+        with self._lock:
+            self._draining = True
+
     def close(self, *, drain: bool = True) -> None:
         """Stop accepting requests, settle in-flight ones, tear down workers.
 
@@ -351,6 +373,7 @@ class QueryService:
                 "queue_depth": self.config.queue_depth,
                 "timeout_seconds": self.config.timeout_seconds,
                 "closed": self._closed,
+                "draining": self._draining and not self._closed,
                 "submitted": self._submitted,
                 "completed": self._completed,
                 "failed": self._failed,

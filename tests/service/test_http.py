@@ -57,6 +57,21 @@ class TestGetEndpoints:
         assert payload["status"] == "ok"
         assert payload["engine"] == service.handle.fingerprint
 
+    def test_healthz_draining_readiness(self, served):
+        """Liveness vs readiness: once a drain begins the process still
+        answers (alive) but reports 503 draining and sheds new queries —
+        the router's cue to pull the replica before its socket dies."""
+        host, port, service = served
+        service.begin_drain()
+        status, _, payload = request(host, port, "GET", "/healthz")
+        assert status == 503
+        assert payload["status"] == "draining"
+        status, _, payload = request(
+            host, port, "POST", "/query", body={"query": QUERY}
+        )
+        assert status == 503
+        assert payload["error"]["type"] == "ServiceClosedError"
+
     def test_stats(self, served):
         host, port, _ = served
         status, _, payload = request(host, port, "GET", "/stats")
