@@ -1,0 +1,287 @@
+"""Adaptive indexing — does the observe → re-plan → hot-swap loop pay off?
+
+The workload-adaptive re-indexer (:mod:`repro.service.adaptive`) promises
+three things on a sustained skewed workload, and this harness measures all
+of them, writing the machine-readable baseline to
+``benchmarks/out/BENCH_adaptive.json``:
+
+1. **Warm-up** — the shared sub-path product cache's hit rate strictly
+   improves over successive rounds of the same workload (cold products are
+   computed once, then shared by every later query).
+2. **Adaptation win** — after one re-index cycle (mining the recorder,
+   rebuilding the SPM index around observed hot vertices, hot-swapping it
+   atomically), steady-state p99 latency is **no worse** than before the
+   swap; hot candidates now gather index rows instead of traversing.
+3. **Transparency** — result payloads are byte-identical across
+   adaptive-on/adaptive-off and thread/process backends: adaptation may
+   only ever change *when* an answer arrives, never *what* it says.
+
+Quick mode: ``BENCH_SMOKE=1`` shrinks the workload and round counts; CI's
+adaptive-smoke job uses it to guard the three contracts on every push.
+"""
+
+import json
+import os
+import time
+
+from repro.engine.detector import OutlierDetector
+from repro.datagen.workloads import generate_query_set
+from repro.query.templates import TEMPLATE_Q1
+from repro.service import QueryService, ServiceConfig, canonical_query_key
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+#: Distinct anchored Q1 queries in the cold tail of each round.
+DISTINCT_QUERIES = 6 if SMOKE else 16
+#: How many times each hot query repeats per round (workload skew).
+HOT_REPEATS = 2 if SMOKE else 4
+#: Workload rounds per phase; round 1 of each phase is cache warm-up and
+#: excluded from the steady-state p99 comparison.
+ROUNDS = 3 if SMOKE else 5
+
+#: The hot head of the workload: unanchored full-candidate-set queries
+#: over length-4 judged-by paths — the heaviest shape the service sees,
+#: so per-query runtime dwarfs scheduler jitter.  Before adaptation every
+#: candidate's partial row is traversed; after, the re-indexer has seen
+#: all of ``author`` in the candidate sets (relative frequency 1.0) and
+#: the swapped SPM index serves the first-segment rows as fancy-indexed
+#: gathers.
+HOT_WORKLOAD = [
+    "FIND OUTLIERS FROM author "
+    "JUDGED BY author.paper.author.paper.venue TOP 10;",
+    "FIND OUTLIERS FROM author "
+    "JUDGED BY author.paper.venue.paper.author TOP 10;",
+    "FIND OUTLIERS FROM author "
+    "JUDGED BY author.paper.term.paper.author TOP 10;",
+]
+
+#: Measurement-noise allowance on the p99 comparison: adaptation promises
+#: *no regression* (the sub-path cache already amortizes traversal, so on
+#: cache-warm steady state the swap's latency effect is parity-or-better),
+#: and a 5% band keeps one scheduler hiccup from failing the run.
+P99_NOISE_ALLOWANCE = 1.05
+
+
+def _distinct_workload(network, size):
+    """``size`` distinct, executable anchored Q1 queries."""
+    candidates = generate_query_set(network, TEMPLATE_Q1, size * 2, seed=33)
+    batch = OutlierDetector(network, strategy="baseline").detect_many(
+        list(candidates)
+    )
+    seen, workload = set(), []
+    for position, query in enumerate(candidates):
+        if position in batch.errors:
+            continue
+        key = canonical_query_key(query)
+        if key in seen:
+            continue
+        seen.add(key)
+        workload.append(query)
+        if len(workload) == size:
+            break
+    assert len(workload) >= max(2, size // 2), "workload generator starved"
+    return workload
+
+
+def _skewed(cold_workload):
+    """The sustained round: hot heavy queries repeated, cold tail once."""
+    return HOT_WORKLOAD * HOT_REPEATS + cold_workload
+
+
+def _adaptive_service(network, *, backend="thread", workers=2):
+    config = ServiceConfig(
+        workers=workers,
+        backend=backend,
+        adaptive=True,
+        reindex_interval_seconds=3600.0,  # cycles driven explicitly
+        reindex_min_queries=1,
+        subpath_cache_mb=64.0,
+        cache_max_entries=0,  # measure execution, not memoization
+        cache_ttl_seconds=None,
+    )
+    # Row cache off: it would memoize the hot rows in *both* phases and
+    # hide the traversal-vs-index-gather delta under measurement noise.
+    return QueryService.from_network(
+        network, config, strategy="spm", row_cache_rows=0
+    )
+
+
+def _drive_round(service, round_queries):
+    """Execute one round serially; per-query latencies in milliseconds."""
+    latencies = []
+    for query in round_queries:
+        start = time.perf_counter()
+        service.execute(query)
+        latencies.append((time.perf_counter() - start) * 1e3)
+    return latencies
+
+
+def _p99(latencies):
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(0.99 * (len(ordered) - 1)))]
+
+
+def _phase(service, round_queries, rounds):
+    """``rounds`` sustained rounds; returns latencies + hit-rate curve.
+
+    The hit-rate curve's first point is sampled right after the phase's
+    *first query* — the cache warms within one round on a small segment
+    vocabulary, so round-boundary samples alone would plateau immediately.
+    """
+    cache_stats = lambda: service.stats()["engine"]["subpath_cache"]  # noqa: E731
+    latencies_per_round, hit_rate_curve = [], []
+    for round_number in range(rounds):
+        if round_number == 0:
+            first = _drive_round(service, round_queries[:1])
+            hit_rate_curve.append(cache_stats()["hit_rate"])
+            latencies_per_round.append(
+                first + _drive_round(service, round_queries[1:])
+            )
+        else:
+            latencies_per_round.append(_drive_round(service, round_queries))
+        hit_rate_curve.append(cache_stats()["hit_rate"])
+    steady_rounds = latencies_per_round[1:] or latencies_per_round
+    steady = [latency for round_ms in steady_rounds for latency in round_ms]
+    # Phase p99 = median of per-round p99s: one GC pause or scheduler
+    # hiccup can only poison one round, not the phase estimate.
+    round_p99s = sorted(_p99(round_ms) for round_ms in steady_rounds)
+    return {
+        "rounds": rounds,
+        "queries_per_round": len(round_queries),
+        "hit_rate_curve": hit_rate_curve,
+        "p99_ms": round_p99s[len(round_p99s) // 2],
+        "p99_per_round_ms": round_p99s,
+        "p50_ms": sorted(steady)[len(steady) // 2],
+    }
+
+
+def test_adaptation_pays_off(benchmark, bench_network, report, json_report):
+    """Acceptance: hit rate strictly improves; p99 no worse after the swap."""
+    workload = _distinct_workload(bench_network, DISTINCT_QUERIES)
+    round_queries = _skewed(workload)
+
+    def run():
+        with _adaptive_service(bench_network) as service:
+            before = _phase(service, round_queries, ROUNDS)
+            swapped = service.reindex_now()
+            index_meta = service.stats()["engine"]["index"]
+            after = _phase(service, round_queries, ROUNDS)
+            reindexer = service.reindexer.stats()
+        return before, swapped, index_meta, after, reindexer
+
+    before, swapped, index_meta, after, reindexer = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    hit_rate_improves = before["hit_rate_curve"][-1] > before["hit_rate_curve"][0]
+    p99_no_worse = after["p99_ms"] <= before["p99_ms"] * P99_NOISE_ALLOWANCE
+
+    lines = [
+        f"adaptive indexing over {len(round_queries)} queries/round "
+        f"({len(HOT_WORKLOAD)} hot x{HOT_REPEATS}, {ROUNDS} rounds/phase)",
+        "",
+        f"{'phase':>8} {'p50 ms':>9} {'p99 ms':>9} {'hit-rate curve'}",
+        f"{'before':>8} {before['p50_ms']:>9.2f} {before['p99_ms']:>9.2f} "
+        + " ".join(f"{rate:.2f}" for rate in before["hit_rate_curve"]),
+        f"{'after':>8} {after['p50_ms']:>9.2f} {after['p99_ms']:>9.2f} "
+        + " ".join(f"{rate:.2f}" for rate in after["hit_rate_curve"]),
+        "",
+        f"swap landed: {swapped}; index generation "
+        f"{index_meta['generation']}, row coverage "
+        f"{index_meta['row_coverage']:.3f}",
+        f"sub-path hit rate strictly improving: {hit_rate_improves}",
+        f"p99 no worse after adaptation: {p99_no_worse} "
+        f"({before['p99_ms']:.2f} -> {after['p99_ms']:.2f} ms)",
+    ]
+    report("adaptive_indexing", "\n".join(lines))
+    json_report(
+        "BENCH_adaptive",
+        {
+            "smoke": SMOKE,
+            "workload": {
+                "cold_distinct": len(workload),
+                "hot": len(HOT_WORKLOAD),
+                "hot_repeats": HOT_REPEATS,
+                "rounds_per_phase": ROUNDS,
+            },
+            "before": before,
+            "after": after,
+            "swap_landed": swapped,
+            "index": {
+                "generation": index_meta["generation"],
+                "row_coverage": index_meta["row_coverage"],
+            },
+            "reindexer": {
+                "cycles": reindexer["cycles"],
+                "reindexes": reindexer["reindexes"],
+                "last_reindex_unix": reindexer["last_reindex_unix"],
+            },
+            "hit_rate_strictly_improving": hit_rate_improves,
+            "p99_no_worse_after_adaptation": p99_no_worse,
+        },
+    )
+
+    assert swapped, "the re-index cycle never swapped an index in"
+    assert index_meta["generation"] >= 1
+    assert hit_rate_improves, (
+        f"sub-path hit rate flat: {before['hit_rate_curve']}"
+    )
+    assert p99_no_worse, (
+        f"p99 regressed: {before['p99_ms']:.2f} -> {after['p99_ms']:.2f} ms"
+    )
+
+
+def test_adaptation_is_transparent(benchmark, bench_network, report):
+    """Acceptance: byte-identical payloads across adaptive on/off and
+    thread/process backends (adaptation changes latency, never answers)."""
+    workload = _distinct_workload(bench_network, max(4, DISTINCT_QUERIES // 2))
+
+    def collect(backend, adaptive):
+        if adaptive:
+            service = _adaptive_service(
+                bench_network, backend=backend, workers=2
+            )
+        else:
+            config = ServiceConfig(
+                workers=2,
+                backend=backend,
+                cache_max_entries=0,
+                cache_ttl_seconds=None,
+            )
+            service = QueryService.from_network(
+                bench_network, config, strategy="spm"
+            )
+        with service:
+            if adaptive:
+                for query in workload:
+                    service.execute(query)
+                assert service.reindex_now(), "adaptive leg never swapped"
+            results = [service.execute(query) for query in workload]
+            return json.dumps(
+                [result.to_dict() for result in results], sort_keys=True
+            )
+
+    def sweep():
+        return {
+            f"{backend}/{'adaptive' if adaptive else 'static'}": collect(
+                backend, adaptive
+            )
+            for backend in ("thread", "process")
+            for adaptive in (False, True)
+        }
+
+    payloads = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    reference = payloads["thread/static"]
+    identical = {leg: payload == reference for leg, payload in payloads.items()}
+
+    lines = [
+        f"payload identity over {len(workload)} distinct Q1 queries",
+        "",
+    ] + [f"{leg:>18}: {'identical' if ok else 'DIVERGED'}"
+         for leg, ok in sorted(identical.items())]
+    report("adaptive_transparency", "\n".join(lines))
+
+    assert all(identical.values()), (
+        "adaptation changed answers: "
+        + ", ".join(leg for leg, ok in identical.items() if not ok)
+    )

@@ -10,9 +10,20 @@ a dashboard workload), and asserts the serving contract:
   monotone non-decreasing and ends above where it started,
 * the server shuts down cleanly (exit code 0) after ``--max-requests``.
 
+With ``--adaptive`` the server runs the workload-adaptive re-indexer
+(``--strategy spm --adaptive``, tight interval) and the smoke additionally
+asserts:
+
+* a background re-index cycle lands while traffic flows (``/healthz``
+  reports ``index.generation >= 1`` and ``index.reindexes >= 1``),
+* a pinned query's result payload is byte-identical before and after the
+  hot-swap (adaptation must never change answers),
+* the server drains cleanly on SIGTERM (exit code 0).
+
 Run from the repository root::
 
     PYTHONPATH=src python scripts/serve_smoke.py [--backend thread|process]
+                                                 [--adaptive]
 
 ``--backend`` selects the service's execution backend (CI runs the smoke
 once per backend); the serving contract asserted here is identical for
@@ -25,6 +36,7 @@ import argparse
 import http.client
 import json
 import re
+import signal
 import subprocess
 import sys
 import tempfile
@@ -62,6 +74,12 @@ def main() -> int:
         default="thread",
         help="execution backend for the served QueryService",
     )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="serve with the workload-adaptive re-indexer and assert a "
+        "hot-swap lands without changing answers",
+    )
     args = parser.parse_args()
     repo_root = Path(__file__).resolve().parent.parent
     with tempfile.TemporaryDirectory() as tmp:
@@ -73,14 +91,24 @@ def main() -> int:
             cwd=repo_root,
         )
 
+        command = [sys.executable, "-m", "repro", "serve",
+                   "--network", corpus,
+                   "--port", "0",
+                   "--backend", args.backend,
+                   "--workers", "4",
+                   "--queue-depth", "64"]
+        if args.adaptive:
+            # SPM + a tight re-index loop; shutdown comes via SIGTERM once
+            # the swap has been observed, not via a request budget.
+            command += ["--strategy", "spm",
+                        "--adaptive",
+                        "--reindex-interval", "1.0",
+                        "--reindex-min-queries", "10",
+                        "--subpath-cache-mb", "16"]
+        else:
+            command += ["--max-requests", str(TOTAL_REQUESTS)]
         server = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve",
-             "--network", corpus,
-             "--port", "0",
-             "--backend", args.backend,
-             "--workers", "4",
-             "--queue-depth", "64",
-             "--max-requests", str(TOTAL_REQUESTS)],
+            command,
             cwd=repo_root,
             stdout=subprocess.PIPE,
             text=True,
@@ -99,6 +127,14 @@ def main() -> int:
 
             bad_statuses: list[int] = []
             hit_rates: list[float] = []
+            pinned_before = None
+            if args.adaptive:
+                # Pin one query's payload before any swap can land.
+                status, body = post(DISTINCT_QUERIES[0])
+                if status != 200:
+                    print(f"FAIL: pinned query got {status}: {body}")
+                    return 1
+                pinned_before = json.dumps(body["result"], sort_keys=True)
             with ThreadPoolExecutor(max_workers=QUERIES_PER_WAVE) as pool:
                 for wave in range(WAVES):
                     queries = [
@@ -117,17 +153,55 @@ def main() -> int:
                         f"cache hit rate {hit_rates[-1]:.2f}"
                     )
 
+            failures = []
+            if args.adaptive:
+                # Wait for a re-index cycle to land on live traffic.
+                index_meta = {}
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    status, health = request(host, port, "GET", "/healthz")
+                    index_meta = health.get("index", {})
+                    if (
+                        status == 200
+                        and index_meta.get("generation", 0) >= 1
+                        and index_meta.get("reindexes", 0) >= 1
+                    ):
+                        break
+                    time.sleep(0.25)
+                else:
+                    failures.append(
+                        f"no re-index landed within 30s: {index_meta}"
+                    )
+                if not failures:
+                    print(
+                        f"re-index landed: generation "
+                        f"{index_meta['generation']}, row coverage "
+                        f"{index_meta['row_coverage']:.3f}"
+                    )
+                    status, body = post(DISTINCT_QUERIES[0])
+                    if status != 200:
+                        failures.append(f"post-swap query got {status}")
+                    elif (
+                        json.dumps(body["result"], sort_keys=True)
+                        != pinned_before
+                    ):
+                        failures.append(
+                            "hot-swap changed the pinned query's payload"
+                        )
+                server.send_signal(signal.SIGTERM)
             deadline = time.monotonic() + 30.0
             while server.poll() is None and time.monotonic() < deadline:
                 time.sleep(0.1)
 
-            failures = []
             if bad_statuses:
                 failures.append(f"5xx responses: {bad_statuses}")
-            if any(b < a for a, b in zip(hit_rates, hit_rates[1:])):
-                failures.append(f"hit rate not monotone: {hit_rates}")
-            if hit_rates[-1] <= hit_rates[0]:
-                failures.append(f"cache never warmed: {hit_rates}")
+            if not args.adaptive:
+                # A hot-swap invalidates the result cache by design, so the
+                # monotone-hit-rate contract only binds the static smoke.
+                if any(b < a for a, b in zip(hit_rates, hit_rates[1:])):
+                    failures.append(f"hit rate not monotone: {hit_rates}")
+                if hit_rates[-1] <= hit_rates[0]:
+                    failures.append(f"cache never warmed: {hit_rates}")
             if server.returncode != 0:
                 failures.append(f"server exit code {server.returncode}")
             if failures:
@@ -137,7 +211,8 @@ def main() -> int:
             print(
                 f"OK: {WAVES * QUERIES_PER_WAVE} concurrent queries, "
                 f"zero 5xx, hit rate {hit_rates[0]:.2f} -> {hit_rates[-1]:.2f}, "
-                "clean shutdown"
+                + ("adaptive swap verified, " if args.adaptive else "")
+                + "clean shutdown"
             )
             return 0
         finally:

@@ -225,6 +225,50 @@ def build_parser() -> argparse.ArgumentParser:
         "0 disables it",
     )
     serve.add_argument(
+        "--subpath-cache-mb",
+        type=float,
+        default=32.0,
+        metavar="MB",
+        help="shared cache of length-2 sub-path products reused across "
+        "concurrent queries whose meta-paths overlap; 0 disables it",
+    )
+    serve.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="enable workload-adaptive re-indexing (spm strategy only): "
+        "a background thread mines admitted queries and atomically "
+        "hot-swaps an SPM index built around the observed hot vertices",
+    )
+    serve.add_argument(
+        "--reindex-interval",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="period of the adaptive re-index cycle (with --adaptive)",
+    )
+    serve.add_argument(
+        "--reindex-min-queries",
+        type=int,
+        default=32,
+        metavar="N",
+        help="new admissions required before a re-index cycle re-plans",
+    )
+    serve.add_argument(
+        "--admission-log",
+        default=None,
+        metavar="PATH",
+        help="JSONL file the admission log spills to for offline workload "
+        "inspection (with --adaptive)",
+    )
+    serve.add_argument(
+        "--max-index-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="byte budget of adaptively rebuilt SPM indexes (hottest "
+        "vertices first; default unbounded)",
+    )
+    serve.add_argument(
         "--max-requests",
         type=int,
         default=None,
@@ -587,6 +631,12 @@ def _command_serve(args, out) -> int:
         timeout_seconds=args.timeout,
         cache_ttl_seconds=args.cache_ttl if args.cache_ttl > 0 else None,
         cache_max_entries=0 if args.cache_ttl == 0 else 1024,
+        subpath_cache_mb=args.subpath_cache_mb,
+        adaptive=args.adaptive,
+        reindex_interval_seconds=args.reindex_interval,
+        reindex_min_queries=args.reindex_min_queries,
+        admission_log_path=args.admission_log,
+        max_index_mb=args.max_index_mb,
     )
     service = QueryService.from_network(
         network,
@@ -632,7 +682,8 @@ def _command_serve(args, out) -> int:
         f"{config.workers} workers"
         f"{' [auto]' if args.workers == 0 else ''}, "
         f"queue depth {args.queue_depth}, "
-        f"index {service.handle.index_size_bytes() / 1e6:.2f} MB)",
+        f"index {service.handle.index_size_bytes() / 1e6:.2f} MB"
+        f"{', adaptive reindex every ' + format(args.reindex_interval, 'g') + 's' if args.adaptive else ''})",
         file=out,
         flush=True,
     )

@@ -1,4 +1,4 @@
-"""Cross-query neighbor-vector caching.
+"""Cross-query caching: neighbor-vector rows and shared sub-path products.
 
 Real workloads (the paper's Table 4 query sets included) touch the same hub
 vertices over and over: every coauthor query against a community re-reads
@@ -10,6 +10,17 @@ This composes with the paper's indexes rather than replacing them: a cached
 Baseline avoids repeated traversals, a cached SPM avoids repeated traversal
 *misses*, and a cached PM mostly measures lookup overhead.  The
 ``ablation_row_cache`` benchmark quantifies each pairing.
+
+:class:`SubpathCache` caches one level lower, following Atrapos' observation
+that concurrent meta-path workloads are dominated by *overlapping
+sub-paths*: a byte-bounded LRU of full length-2 segment count matrices
+(``A₁ @ A₂``), keyed by ``(segment, network version)``.  The blocked
+materialization paths of the Baseline and SPM strategies consult it, so two
+concurrent queries whose meta-paths share a segment — ``a.p.v`` inside both
+``a.p.v`` and ``a.p.v.p.a`` — compute the segment product once.  Because
+path counts are non-negative integers far below 2⁵³, float64 sparse
+products are exact and associative: multiplying a selection block by a
+cached segment matrix is byte-identical to chaining the two hops.
 """
 
 from __future__ import annotations
@@ -24,9 +35,9 @@ from repro import faultinject
 from repro.engine.strategies import MaterializationStrategy, _stitch_rows
 from repro.exceptions import ExecutionError, TransientFaultError
 from repro.metapath.metapath import MetaPath
-from repro.utils.sparsetools import sparse_row_bytes
+from repro.utils.sparsetools import csr_storage_bytes, sparse_row_bytes
 
-__all__ = ["CachingStrategy"]
+__all__ = ["CachingStrategy", "SubpathCache"]
 
 
 def _split_rows(block: sparse.csr_matrix) -> list[sparse.csr_matrix]:
@@ -53,6 +64,150 @@ def _split_rows(block: sparse.csr_matrix) -> list[sparse.csr_matrix]:
             )
         )
     return rows
+
+
+class SubpathCache:
+    """Byte-bounded LRU of full length-2 segment products, shared by queries.
+
+    Parameters
+    ----------
+    max_bytes:
+        Total CSR storage budget (under the repo's conventional accounting
+        model); least-recently-used segments evict first.  An entry larger
+        than the whole budget is rejected outright (counted, never stored).
+
+    Notes
+    -----
+    Keys are ``(segment, network version)``: :meth:`get`/:meth:`put` carry
+    the caller's version, and any entry stored at a different version is
+    dropped wholesale — the same invalidation contract the result cache
+    and row cache follow, which is what makes the adaptive hot-swap (a
+    version bump with unchanged graph data) safe here too.
+
+    Thread-safe (one ``RLock`` guards the LRU and its counters); in the
+    process backend every worker holds its own instance over the same
+    read-only shared adjacency, which is correct because entries are pure
+    functions of (segment, version).
+
+    Fault points: ``subpath.get`` and ``subpath.put`` are **self-healing**
+    like ``cache_read`` — a faulted read drops the suspect entry and
+    reports a miss, a faulted write skips the insert.  A cache must never
+    make a query fail, so the Baseline rung stays the degradation ladder's
+    infallible floor even with this cache attached.
+    """
+
+    def __init__(self, *, max_bytes: int) -> None:
+        if max_bytes < 1:
+            raise ExecutionError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[MetaPath, tuple[int, sparse.csr_matrix]] = (
+            OrderedDict()
+        )
+        self._bytes = 0
+        self._version: int | None = None
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: Entries refused because one segment product exceeds the budget.
+        self.rejected = 0
+        #: Reads dropped / writes skipped by (injected or real) faults.
+        self.faulted_gets = 0
+        self.faulted_puts = 0
+
+    def _sync_version_locked(self, version: int) -> None:
+        if self._version != version:
+            self._entries.clear()
+            self._bytes = 0
+            self._version = version
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+    def get(self, segment: MetaPath, version: int) -> sparse.csr_matrix | None:
+        """The cached product of ``segment`` at ``version``, or ``None``."""
+        with self._lock:
+            self._sync_version_locked(version)
+            entry = self._entries.get(segment)
+            if entry is not None:
+                try:
+                    faultinject.check("subpath.get")
+                except TransientFaultError:
+                    # Self-healing: drop the suspect entry and recompute —
+                    # a miss, never an error.
+                    self._entries.pop(segment, None)
+                    self._bytes -= entry[0]
+                    self.faulted_gets += 1
+                else:
+                    self._entries.move_to_end(segment)
+                    self.hits += 1
+                    return entry[1]
+            self.misses += 1
+            return None
+
+    def put(
+        self, segment: MetaPath, version: int, matrix: sparse.csr_matrix
+    ) -> None:
+        """Insert the product of ``segment`` computed at ``version``."""
+        size = csr_storage_bytes(matrix)
+        with self._lock:
+            self._sync_version_locked(version)
+            try:
+                faultinject.check("subpath.put")
+            except TransientFaultError:
+                self.faulted_puts += 1
+                return
+            if size > self.max_bytes:
+                self.rejected += 1
+                return
+            old = self._entries.pop(segment, None)
+            if old is not None:
+                self._bytes -= old[0]
+            self._entries[segment] = (size, matrix)
+            self._bytes += size
+            while self._bytes > self.max_bytes and len(self._entries) > 1:
+                _, (evicted_bytes, _evicted) = self._entries.popitem(last=False)
+                self._bytes -= evicted_bytes
+                self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """Internally consistent stats snapshot under one lock hold."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "evictions": self.evictions,
+                "rejected": self.rejected,
+                "faulted_gets": self.faulted_gets,
+                "faulted_puts": self.faulted_puts,
+            }
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.rejected = 0
+            self.faulted_gets = 0
+            self.faulted_puts = 0
 
 
 class CachingStrategy(MaterializationStrategy):

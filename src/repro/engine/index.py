@@ -27,7 +27,12 @@ from repro.metapath.metapath import MetaPath
 from repro.hin.network import VertexId
 from repro.utils.sparsetools import csr_storage_bytes, sparse_row_bytes
 
-__all__ = ["MetaPathIndex", "build_pm_index", "build_spm_index"]
+__all__ = [
+    "MetaPathIndex",
+    "build_pm_index",
+    "build_spm_index",
+    "build_spm_index_bounded",
+]
 
 
 def _mark_canonical(matrix: sparse.csr_matrix) -> None:
@@ -337,6 +342,27 @@ class MetaPathIndex:
         total += sum(len(rows) for rows in self._partial.values())
         return total
 
+    def coverage_summary(self) -> dict:
+        """Observability snapshot: what this index stores, per path.
+
+        Plain dicts/ints only (JSON-serializable) so the serving layer can
+        embed it in ``/stats`` without further translation.
+        """
+        per_path = {
+            str(path): int(matrix.shape[0])
+            for path, matrix in self._full.items()
+        }
+        per_path.update(
+            {str(path): len(rows) for path, rows in self._partial.items()}
+        )
+        return {
+            "rows": self.row_count(),
+            "size_bytes": self.size_bytes(),
+            "full_paths": len(self._full),
+            "partial_paths": len(self._partial),
+            "rows_per_path": per_path,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"MetaPathIndex(full={len(self._full)}, "
@@ -377,3 +403,42 @@ def build_spm_index(
             row = materialize_row(network, path, vertex)
             index.store_row(path, vertex.index, row)
     return index
+
+
+def build_spm_index_bounded(
+    network: HeterogeneousInformationNetwork,
+    ranked_vertices: Iterable[VertexId],
+    *,
+    max_bytes: int | None = None,
+) -> tuple[MetaPathIndex, list[VertexId]]:
+    """SPM build with a byte budget: index hottest-first until full.
+
+    ``ranked_vertices`` must be ordered hottest-first (the re-indexer ranks
+    by observed query frequency).  Each vertex is admitted all-or-nothing —
+    either every legal length-2 row starting at it fits under ``max_bytes``
+    and is stored, or the build stops there — so the resulting index never
+    has a vertex whose coverage depends on which meta-path a query uses.
+    Returns ``(index, indexed_vertices)`` where the list records which
+    vertices made the cut, in rank order.
+    """
+    faultinject.check("index_build")
+    index = MetaPathIndex()
+    paths_by_source: dict[str, list[MetaPath]] = {}
+    for path in _all_length2_paths(network):
+        paths_by_source.setdefault(path.source, []).append(path)
+    indexed: list[VertexId] = []
+    total = 0
+    for vertex in ranked_vertices:
+        faultinject.check("index_build")
+        rows = [
+            (path, materialize_row(network, path, vertex))
+            for path in paths_by_source.get(vertex.type, [])
+        ]
+        vertex_bytes = sum(sparse_row_bytes(int(row.nnz)) for _, row in rows)
+        if max_bytes is not None and total + vertex_bytes > max_bytes:
+            break
+        for path, row in rows:
+            index.store_row(path, vertex.index, row)
+        total += vertex_bytes
+        indexed.append(vertex)
+    return index, indexed

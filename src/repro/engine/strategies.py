@@ -45,7 +45,7 @@ from repro.engine.stats import PHASE_INDEXED, PHASE_NOT_INDEXED, ExecutionStats
 from repro.exceptions import ExecutionError, MetaPathError
 from repro.hin.network import HeterogeneousInformationNetwork, VertexId
 from repro.metapath.counting import neighbor_counts
-from repro.metapath.materialize import decompose_length2
+from repro.metapath.materialize import decompose_length2, materialize_segment
 from repro.metapath.metapath import MetaPath
 
 __all__ = [
@@ -152,8 +152,33 @@ class MaterializationStrategy(abc.ABC):
     #: Registry/reporting name; subclasses set this.
     name: str = ""
 
+    #: Optional shared :class:`~repro.engine.caching.SubpathCache` attached
+    #: by the serving layer: when set, the blocked materialization paths
+    #: reuse full length-2 segment products across concurrent queries whose
+    #: meta-paths overlap.  ``None`` (the default) leaves batch-library
+    #: behavior untouched.
+    subpath_cache = None
+
     def __init__(self, network: HeterogeneousInformationNetwork) -> None:
         self.network = network
+
+    def _segment_product(self, segment: MetaPath) -> sparse.csr_matrix:
+        """The full count matrix of a length-2 ``segment``, cache-assisted.
+
+        Consults :attr:`subpath_cache` when attached (keyed by the current
+        network version); on a miss the product is computed and offered
+        back.  Counts are exact integers in float64, so substituting the
+        cached ``A₁ @ A₂`` for the two chained hops is byte-identical —
+        the property ``tests/properties`` pins.
+        """
+        cache = self.subpath_cache
+        version = self.network.version
+        matrix = cache.get(segment, version) if cache is not None else None
+        if matrix is None:
+            matrix = materialize_segment(self.network, segment)
+            if cache is not None:
+                cache.put(segment, version, matrix)
+        return matrix
 
     @abc.abstractmethod
     def neighbor_row(
@@ -295,8 +320,19 @@ class BaselineStrategy(MaterializationStrategy):
                 return self._frontier_block(path, vertex_indices)
             # No matrix_multiply fault point here: the unindexed rung is the
             # degradation ladder's infallible floor, exactly like the
-            # row-at-a-time traversal path.
+            # row-at-a-time traversal path.  (SubpathCache faults are
+            # self-healing inside the cache, so consulting it below cannot
+            # make this rung raise.)
             block = _selection_matrix(vertex_indices, source_width)
+            if self.subpath_cache is not None and path.length >= 2:
+                segments, tail = decompose_length2(path)
+                for segment in segments:
+                    block = block @ self._segment_product(segment)
+                if tail is not None:
+                    block = block @ self.network.adjacency(
+                        tail.types[0], tail.types[1]
+                    )
+                return block.tocsr()
             for step in chain:
                 block = block @ step
             return block.tocsr()
@@ -633,6 +669,8 @@ class SPMStrategy(MaterializationStrategy):
             # a selection gather pushed through the segment's two hops.
             def traverse_misses() -> sparse.csr_matrix:
                 block = _selection_matrix(vertex_indices[~hit_mask], source_width)
+                if self.subpath_cache is not None:
+                    return (block @ self._segment_product(first)).tocsr()
                 for step in self._adjacency_chain(first):
                     block = block @ step
                 return block.tocsr()
@@ -668,8 +706,11 @@ class SPMStrategy(MaterializationStrategy):
                 stats.indexed_vectors += segment_hits
                 stats.traversed_vectors += segment_misses
             check_deadline("SPM segment block expansion")
-            for step in self._adjacency_chain(segment):
-                block = block @ step
+            if self.subpath_cache is not None:
+                block = block @ self._segment_product(segment)
+            else:
+                for step in self._adjacency_chain(segment):
+                    block = block @ step
         if tail is not None:
             block = block @ self.network.adjacency(tail.types[0], tail.types[1])
         if stats is not None:

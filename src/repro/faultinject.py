@@ -64,6 +64,8 @@ FAULT_POINTS = (
     "router.connect",
     "router.send",
     "router.recv",
+    "subpath.get",
+    "subpath.put",
 )
 
 

@@ -323,6 +323,19 @@ class HeterogeneousInformationNetwork:
         """
         return self._version
 
+    def bump_version(self) -> int:
+        """Advance the mutation counter without changing any data.
+
+        The hot-swap hook: bumping the version atomically invalidates every
+        version-keyed consumer (result caches, sub-path caches, strategies
+        built against the old index) even though the graph itself is
+        unchanged.  Works on frozen (``from_prebuilt``) networks too — only
+        the counter moves, never the shared buffers.  Returns the new
+        version.
+        """
+        self._version += 1
+        return self._version
+
     def num_edges(self) -> int:
         """Number of (undirected) edge insertions made so far."""
         return self._num_edges

@@ -20,7 +20,12 @@ from repro.exceptions import MetaPathError
 from repro.hin.network import HeterogeneousInformationNetwork, VertexId
 from repro.metapath.metapath import MetaPath
 
-__all__ = ["materialize", "materialize_row", "decompose_length2"]
+__all__ = [
+    "materialize",
+    "materialize_row",
+    "materialize_segment",
+    "decompose_length2",
+]
 
 
 def materialize(
@@ -46,6 +51,34 @@ def materialize(
         step = network.adjacency(left, right)
         product = step if product is None else product @ step
     return product.tocsr()
+
+
+def materialize_segment(
+    network: HeterogeneousInformationNetwork,
+    segment: MetaPath,
+) -> sparse.csr_matrix:
+    """The full count matrix of one **length-2** segment (``A₁ @ A₂``).
+
+    The unit the PM/SPM indexes and the serving layer's shared sub-path
+    cache store: any meta-path decomposes into these segments
+    (:func:`decompose_length2`), so one cached segment product serves every
+    query whose path contains the segment.  Because path counts are
+    non-negative integers well below 2⁵³, the float64 product is exact —
+    multiplying a selection block by this matrix yields byte-identical
+    rows to chaining the two hops directly.
+
+    Raises
+    ------
+    MetaPathError
+        If ``segment`` does not have exactly two hops (or fails schema
+        validation).
+    """
+    if segment.length != 2:
+        raise MetaPathError(
+            f"materialize_segment expects a 2-hop segment, got {segment} "
+            f"(length {segment.length})"
+        )
+    return materialize(network, segment)
 
 
 def materialize_row(

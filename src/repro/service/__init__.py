@@ -18,6 +18,11 @@ ROADMAP's production north star actually needs:
   ``submit()`` futures, ``execute()`` sync calls, ``stats()`` snapshots.
 * :mod:`repro.service.http` — a stdlib-only JSON/HTTP frontend, exposed on
   the CLI as ``repro serve``.
+* :mod:`repro.service.adaptive` — workload-adaptive online indexing: a
+  :class:`~repro.service.adaptive.WorkloadRecorder` logs admitted queries
+  and a background :class:`~repro.service.adaptive.Reindexer` re-plans the
+  SPM index around observed hot vertices, hot-swapping it atomically (with
+  a shared length-2 sub-path product cache accelerating all strategies).
 * :mod:`repro.service.router` / :mod:`repro.service.probe` /
   :mod:`repro.service.supervisor` — fault-tolerant replica routing: a
   :class:`~repro.service.supervisor.ReplicaSupervisor` keeps N ``repro
@@ -41,9 +46,11 @@ Quickstart
 True
 """
 
+from repro.service.adaptive import Reindexer, WorkloadRecorder
 from repro.service.admission import AdmissionController
 from repro.service.backends import ProcessBackend, ThreadBackend, make_backend
 from repro.service.cache import ResultCache, canonical_query_key
+from repro.service.keys import extract_query_text
 from repro.service.config import (
     RouterConfig,
     ServiceConfig,
@@ -69,6 +76,7 @@ __all__ = [
     "HealthProber",
     "ProcessBackend",
     "QueryService",
+    "Reindexer",
     "ReplicaSupervisor",
     "ResultCache",
     "Router",
@@ -78,8 +86,10 @@ __all__ = [
     "ServiceHTTPServer",
     "SupervisorConfig",
     "ThreadBackend",
+    "WorkloadRecorder",
     "auto_worker_count",
     "canonical_query_key",
+    "extract_query_text",
     "make_backend",
     "make_router_server",
     "make_server",

@@ -86,6 +86,17 @@ class ExecutionBackend:
     def submit(self, query_text: str) -> "Future[OutlierResult]":
         raise NotImplementedError
 
+    def refresh_engine(self) -> None:
+        """Adopt the parent handle's current engine after an index hot-swap.
+
+        The default is a no-op, which is correct for any backend whose
+        workers execute directly against the parent's
+        :class:`~repro.service.handle.EngineHandle` (the thread backend):
+        the swap's atomic attribute publish is immediately visible to every
+        thread.  The process backend overrides this to roll a fresh
+        shared-memory segment generation out to its workers.
+        """
+
     def live_workers(self) -> int:
         raise NotImplementedError
 
@@ -275,6 +286,38 @@ def _service_worker_main(
         message = task_queue.get()
         if message[0] == "stop":
             break
+        if message[0] == "swap":
+            # Index hot-swap: attach the new segment generation, rebuild
+            # the handle, and only then retire the old mapping.  The loop
+            # is serial, so a swap is always processed *between* queries —
+            # no query ever observes a half-swapped engine, which is the
+            # torn-index guarantee the chaos tests pin.
+            _, generation, new_spec, new_manifest = message
+            try:
+                new_mapping, new_views = shm.attach_arrays(new_manifest)
+                new_handle = EngineHandle.from_shared(new_spec, new_views)
+            except BaseException as error:  # noqa: BLE001 - reported, then die
+                try:
+                    result_connection.send(
+                        (
+                            "swap-error",
+                            worker_id,
+                            generation,
+                            type(error).__name__,
+                            str(error),
+                        )
+                    )
+                except (OSError, ValueError):
+                    pass
+                # Suicide on a failed swap: the monitor respawns this slot
+                # against the *new* spec/segment, so the fleet still
+                # converges on the new generation.
+                break
+            handle = new_handle
+            mapping, old_mapping = new_mapping, mapping
+            old_mapping.close()
+            result_connection.send(("swapped", worker_id, generation))
+            continue
         _, task_id, query_text = message
         try:
             deadline = (
@@ -313,6 +356,9 @@ class _WorkerSlot:
     ready: bool = False
     dead: bool = False
     restarts: int = 0
+    #: Index generation this worker's engine was built from; the swap
+    #: barrier waits until every live slot reaches the target generation.
+    generation: int = 0
     completed: int = 0
     failed: int = 0
     outstanding: dict[int, _Task] = field(default_factory=dict)
@@ -366,6 +412,11 @@ class ProcessBackend(ExecutionBackend):
         self._next_task_id = 0
         self._tasks: dict[int, _Task] = {}
         self._startup_errors: list[str] = []
+        self._generation = 0
+        self._swap_errors: list[str] = []
+        # Old segments a timed-out swap could not safely unlink yet; they
+        # are removed at close() so the OS never leaks shared memory.
+        self._retired_segments: list = []
         self._slots = [_WorkerSlot(worker_id=i) for i in range(workers)]
         self._collector = None
         try:
@@ -402,10 +453,14 @@ class ProcessBackend(ExecutionBackend):
     # -- lifecycle -----------------------------------------------------
     def _spawn(self, slot: _WorkerSlot) -> None:
         # Fresh task queue and result pipe per (re)spawn: anything a dead
-        # worker left queued or half-written dies with its channels.
+        # worker left queued or half-written dies with its channels.  The
+        # spec/segment read here are the *current* ones (swapped under the
+        # lock by refresh_engine), so a crash replacement mid-swap attaches
+        # the new generation directly — never the torn old one.
         slot.queue = self._ctx.Queue()
         reader, writer = self._ctx.Pipe(duplex=False)
         slot.ready = False
+        slot.generation = self._generation
         slot.process = self._ctx.Process(
             target=_service_worker_main,
             args=(
@@ -523,6 +578,18 @@ class ProcessBackend(ExecutionBackend):
                         self._startup_errors.append(
                             f"worker {worker_id}: {type_name}: {text}"
                         )
+                elif kind == "swapped":
+                    _, worker_id, generation = message
+                    with self._lock:
+                        slot = self._slots[worker_id]
+                        slot.generation = max(slot.generation, generation)
+                elif kind == "swap-error":
+                    _, worker_id, generation, type_name, text = message
+                    with self._lock:
+                        self._swap_errors.append(
+                            f"worker {worker_id} (generation {generation}): "
+                            f"{type_name}: {text}"
+                        )
                 elif kind in ("result", "error"):
                     self._deliver(message)
 
@@ -621,6 +688,76 @@ class ProcessBackend(ExecutionBackend):
         for target_queue, task in routed:
             target_queue.put(("task", task.task_id, task.query_text))
 
+    # -- index hot-swap ------------------------------------------------
+    def refresh_engine(self, *, timeout_seconds: float = 60.0) -> None:
+        """Roll the workers onto the parent handle's current engine.
+
+        The process-backend half of the hot-swap protocol:
+
+        1. Export the (already swapped) parent engine into a **fresh**
+           shared-memory segment — the old one keeps serving untouched.
+        2. Under the lock, publish the new spec/segment/generation (crash
+           replacements from here on attach the new generation) and
+           broadcast a ``swap`` message to every live worker's task queue.
+        3. Wait until no live slot is below the target generation.  A
+           worker adopts by ack (``swapped``), or by dying and being
+           respawned against the new spec — either way the barrier clears.
+        4. Only then unlink the old segment.  On timeout the old segment is
+           retired instead (unlinked at :meth:`close`), never yanked from
+           under a worker that may still be serving from it.
+        """
+        spec, arrays = self.handle.export_shared()
+        new_segment = shm.export_arrays(arrays, name_hint="repro-serve")
+        with self._lock:
+            if self._closed or not self._accepting:
+                new_segment.close()
+                new_segment.unlink()
+                raise ServiceClosedError(
+                    "the query service has been shut down; cannot swap index"
+                )
+            old_segment = self._segment
+            self._spec = spec
+            self._segment = new_segment
+            self._generation += 1
+            target = self._generation
+            queues = [
+                slot.queue
+                for slot in self._slots
+                if not slot.dead
+                and slot.process is not None
+                and slot.process.is_alive()
+            ]
+        for queue in queues:
+            try:
+                queue.put(("swap", target, spec, new_segment.manifest))
+            except (OSError, ValueError):
+                pass  # a worker died mid-broadcast: its respawn adopts anyway
+        deadline = time.monotonic() + timeout_seconds
+        while True:
+            with self._lock:
+                if self._closed:
+                    self._retired_segments.append(old_segment)
+                    return
+                lagging = [
+                    slot.worker_id
+                    for slot in self._slots
+                    if not slot.dead
+                    and slot.process is not None
+                    and slot.generation < target
+                ]
+            if not lagging:
+                break
+            if time.monotonic() > deadline:
+                self._retired_segments.append(old_segment)
+                raise ServiceError(
+                    f"workers {lagging} did not adopt index generation "
+                    f"{target} within {timeout_seconds:.0f}s; old segment "
+                    "retired for cleanup at shutdown"
+                )
+            time.sleep(0.01)
+        old_segment.close()
+        old_segment.unlink()
+
     # -- introspection -------------------------------------------------
     def live_workers(self) -> int:
         with self._lock:
@@ -646,15 +783,20 @@ class ProcessBackend(ExecutionBackend):
                     "completed": slot.completed,
                     "failed": slot.failed,
                     "restarts": slot.restarts,
+                    "generation": slot.generation,
                 }
                 for slot in self._slots
             ]
+            generation = self._generation
+            swap_errors = len(self._swap_errors)
         return {
             "backend": self.name,
             "configured_workers": len(self._slots),
             "live_workers": self.live_workers(),
             "segment": self._segment.name,
             "segment_bytes": self._segment.manifest.total_bytes,
+            "index_generation": generation,
+            "swap_errors": swap_errors,
             "per_worker": per_worker,
         }
 
@@ -706,9 +848,17 @@ class ProcessBackend(ExecutionBackend):
             if slot.reader is not None:
                 slot.reader.close()
                 slot.reader = None
-        # Last: drop the mapping and remove the segment from the OS.
+        # Last: drop the mapping and remove the segment from the OS —
+        # including any segment a timed-out swap had to retire.
         self._segment.close()
         self._segment.unlink()
+        for segment in self._retired_segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+        self._retired_segments.clear()
 
 
 def make_backend(

@@ -7,10 +7,12 @@ The :class:`ResultCache` memoizes whole
 query key, so textual variation that cannot change the answer — whitespace,
 clause layout, keyword case — still hits.
 
-Canonicalization reuses the query language round-trip
+Canonicalization is the shared :func:`repro.service.keys.canonical_query_key`
+(re-exported here for compatibility): the query language round-trip
 (:func:`~repro.query.parser.parse_query` →
 :func:`~repro.query.formatter.format_query`), the same normal form the
-formatter's property tests guarantee re-parses identically.
+formatter's property tests guarantee re-parses identically and the replica
+router hashes for placement.
 
 Entries carry the engine's network **version**; a lookup against a newer
 version drops the entry (explicit invalidation also exists for operators).
@@ -28,24 +30,9 @@ from typing import Callable
 
 from repro.core.results import OutlierResult
 from repro.exceptions import ServiceError
-from repro.query.ast import Query
-from repro.query.formatter import format_query
-from repro.query.parser import parse_query
+from repro.service.keys import canonical_query_key
 
 __all__ = ["ResultCache", "canonical_query_key"]
-
-
-def canonical_query_key(query: str | Query) -> str:
-    """One canonical text per query meaning.
-
-    Parses (when given text) and re-formats, so all textual spellings of
-    the same query share a cache slot.  Raises
-    :class:`~repro.exceptions.QueryError` for malformed queries — the
-    service surfaces that as a client error *before* spending an admission
-    slot.
-    """
-    ast = parse_query(query) if isinstance(query, str) else query
-    return format_query(ast)
 
 
 @dataclass

@@ -75,6 +75,29 @@ class ServiceConfig:
     collect_stats:
         Attach per-phase :class:`~repro.engine.stats.ExecutionStats` to
         results (the service's own counters are always collected).
+    subpath_cache_mb:
+        Size budget (MiB) of the shared length-2 sub-path product cache
+        consulted by every blocked materialization; ``0`` disables it.
+    adaptive:
+        Enable the workload-adaptive re-indexing loop (SPM strategy only):
+        admitted queries feed a bounded admission log, and a background
+        re-indexer periodically rebuilds the SPM index around the observed
+        hot vertices and hot-swaps it atomically (``docs/service.md``,
+        "Adaptive indexing").
+    reindex_interval_seconds:
+        Period of the background re-index cycle.
+    reindex_min_queries:
+        New admissions required since the last cycle before a re-plan is
+        attempted — re-planning an unchanged workload wastes a rebuild.
+    admission_log_entries:
+        In-memory admission log window the re-indexer mines.
+    admission_log_path:
+        Optional JSONL file every admitted query key is appended to for
+        offline workload inspection (``None`` = no spill).
+    max_index_mb:
+        Byte budget (MiB) for adaptively rebuilt SPM indexes; vertices are
+        admitted hottest-first until the budget is exhausted (``None`` =
+        unbounded, like the paper's static build).
     """
 
     workers: int = 4
@@ -84,6 +107,13 @@ class ServiceConfig:
     cache_ttl_seconds: float | None = 60.0
     cache_max_entries: int = 1024
     collect_stats: bool = True
+    subpath_cache_mb: float = 32.0
+    adaptive: bool = False
+    reindex_interval_seconds: float = 30.0
+    reindex_min_queries: int = 32
+    admission_log_entries: int = 4096
+    admission_log_path: str | None = None
+    max_index_mb: float | None = None
 
     def __post_init__(self) -> None:
         if self.workers == 0:
@@ -112,6 +142,29 @@ class ServiceConfig:
         if self.cache_max_entries < 0:
             raise ServiceError(
                 f"cache_max_entries must be >= 0, got {self.cache_max_entries}"
+            )
+        if self.subpath_cache_mb < 0:
+            raise ServiceError(
+                f"subpath_cache_mb must be >= 0, got {self.subpath_cache_mb}"
+            )
+        if self.reindex_interval_seconds <= 0:
+            raise ServiceError(
+                "reindex_interval_seconds must be positive, got "
+                f"{self.reindex_interval_seconds}"
+            )
+        if self.reindex_min_queries < 1:
+            raise ServiceError(
+                "reindex_min_queries must be >= 1, got "
+                f"{self.reindex_min_queries}"
+            )
+        if self.admission_log_entries < 1:
+            raise ServiceError(
+                "admission_log_entries must be >= 1, got "
+                f"{self.admission_log_entries}"
+            )
+        if self.max_index_mb is not None and self.max_index_mb <= 0:
+            raise ServiceError(
+                f"max_index_mb must be positive or None, got {self.max_index_mb}"
             )
 
     @property

@@ -22,14 +22,17 @@ lock.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.measures import Measure
 from repro.core.results import OutlierResult
-from repro.engine.caching import CachingStrategy
+from repro.engine.caching import CachingStrategy, SubpathCache
 from repro.engine.detector import OutlierDetector
 from repro.engine.executor import BatchExecution
-from repro.engine.strategies import MaterializationStrategy
+from repro.engine.index import MetaPathIndex
+from repro.engine.strategies import MaterializationStrategy, SPMStrategy
+from repro.exceptions import ServiceError
 from repro.hin.network import HeterogeneousInformationNetwork
 from repro.query.ast import Query
 
@@ -84,6 +87,7 @@ class EngineHandle:
         resilience: "ResiliencePolicy | None" = None,
         row_cache_rows: int = 4096,
         collect_stats: bool = True,
+        subpath_cache_mb: float = 0.0,
     ) -> None:
         self.network = network
         # Construction record: the process backend ships these (minus the
@@ -96,6 +100,7 @@ class EngineHandle:
             "resilience": resilience,
             "row_cache_rows": row_cache_rows,
             "collect_stats": collect_stats,
+            "subpath_cache_mb": subpath_cache_mb,
         }
         base = OutlierDetector(
             network,
@@ -126,7 +131,15 @@ class EngineHandle:
         self.detector = base
         self._combine = combine
         self._version = network.version
+        #: Counts completed hot-swaps; 0 for the index the handle was born
+        #: with.  The process backend reuses the same counter to tag shm
+        #: segment generations.
+        self.index_generation = 0
+        self.last_swap_unix: float | None = None
+        self.subpath_cache: SubpathCache | None = None
         self.warm()
+        if subpath_cache_mb > 0:
+            self.attach_subpath_cache(subpath_cache_mb)
 
     # ------------------------------------------------------------------
     # Warm-up
@@ -180,6 +193,125 @@ class EngineHandle:
     def index_size_bytes(self) -> int:
         """Bytes held by the shared index (plus any row cache)."""
         return self.detector.index_size_bytes()
+
+    # ------------------------------------------------------------------
+    # Adaptive indexing: sub-path cache + atomic index hot-swap
+    # ------------------------------------------------------------------
+    def attach_subpath_cache(self, megabytes: float) -> None:
+        """Attach a shared length-2 sub-path product cache to the engine.
+
+        Idempotent: a second call (or ``megabytes <= 0``) is a no-op.  The
+        cache is installed on the *concrete* strategy instance so every
+        blocked materialization — including miss traversal inside SPM —
+        reuses segment products across concurrent queries.
+        """
+        if megabytes <= 0 or self.subpath_cache is not None:
+            return
+        self.subpath_cache = SubpathCache(
+            max_bytes=int(megabytes * 1024 * 1024)
+        )
+        self._init_spec["subpath_cache_mb"] = megabytes
+        self._concrete_strategy().subpath_cache = self.subpath_cache
+
+    def swap_index(self, index: MetaPathIndex) -> int:
+        """Atomically replace the served SPM index with ``index``.
+
+        The hot-swap protocol, in publish-safe order:
+
+        1. Every strategy in the *old* chain (row-cache wrapper, ladder
+           rungs, concrete strategy) is marked stale-tolerant, so in-flight
+           queries finish on the old index instead of tripping the
+           staleness guard when the version moves.
+        2. The network version is bumped — from this instant the result
+           cache treats old-version entries as invalid, and the sub-path
+           cache clears itself on first touch.  (Caching an old-index
+           result under the new version during the overlap window is
+           harmless: scores are byte-identical by construction.)
+        3. A fresh :class:`SPMStrategy` chain is built against the new
+           version and published with one attribute assignment — readers
+           see either the whole old engine or the whole new one, never a
+           mix.
+
+        Only meaningful for SPM serving (the adaptive loop's target);
+        raises :class:`~repro.exceptions.ServiceError` otherwise.  Returns
+        the new network version.
+        """
+        concrete = self._concrete_strategy()
+        if not isinstance(concrete, SPMStrategy):
+            raise ServiceError(
+                "index hot-swap requires the spm strategy, but this engine "
+                f"serves {getattr(concrete, 'name', 'custom')!r}"
+            )
+        strategy = self.detector.strategy
+        while strategy is not None:
+            if hasattr(strategy, "_allow_stale"):
+                strategy._allow_stale = True
+            build_active = getattr(strategy, "_active_strategy", None)
+            if callable(build_active):
+                rung = build_active()
+                if hasattr(rung, "_allow_stale"):
+                    rung._allow_stale = True
+            strategy = getattr(strategy, "inner", None)
+        version = self.network.bump_version()
+        replacement = SPMStrategy(self.network, index=index)
+        replacement.subpath_cache = self.subpath_cache
+        chain: MaterializationStrategy = replacement
+        row_cache: CachingStrategy | None = None
+        if self._init_spec["row_cache_rows"] > 0:
+            row_cache = CachingStrategy(
+                replacement, max_rows=self._init_spec["row_cache_rows"]
+            )
+            chain = row_cache
+        detector = OutlierDetector(
+            self.network,
+            strategy=chain,
+            measure=self._init_spec["measure"],
+            combine=self._init_spec["combine"],
+            collect_stats=self._init_spec["collect_stats"],
+            resilience=self._init_spec["resilience"],
+        )
+        # Atomic publish: one attribute write swaps the whole engine.
+        self.detector = detector
+        self.row_cache = row_cache
+        self._version = version
+        self.index_generation += 1
+        self.last_swap_unix = time.time()
+        return version
+
+    def index_metadata(self) -> dict:
+        """JSON-ready description of the served index for observability.
+
+        ``row_coverage`` is the fraction of all possible length-2 rows
+        (every legal length-2 meta-path × its source-type vertex count)
+        the index can answer by lookup: 1.0 for PM, the selected fraction
+        for SPM, ``None`` for unindexed strategies.
+        """
+        concrete = self._concrete_strategy()
+        index = getattr(concrete, "index", None)
+        metadata = {
+            "strategy": getattr(concrete, "name", "custom"),
+            "network_version": self.network.version,
+            "generation": self.index_generation,
+            "last_swap_unix": self.last_swap_unix,
+            "coverage": None,
+            "row_coverage": None,
+            "subpath_cache": (
+                self.subpath_cache.snapshot()
+                if self.subpath_cache is not None
+                else None
+            ),
+        }
+        if index is not None:
+            coverage = index.coverage_summary()
+            possible = sum(
+                self.network.num_vertices(types[0])
+                for types in self.network.schema.length2_metapaths()
+            )
+            metadata["coverage"] = coverage
+            metadata["row_coverage"] = (
+                coverage["rows"] / possible if possible else 0.0
+            )
+        return metadata
 
     # ------------------------------------------------------------------
     # Execution
@@ -275,6 +407,7 @@ class EngineHandle:
             "resilience": self._init_spec["resilience"],
             "row_cache_rows": self._init_spec["row_cache_rows"],
             "collect_stats": self._init_spec["collect_stats"],
+            "subpath_cache_mb": self._init_spec["subpath_cache_mb"],
             "num_edges": self.network.num_edges(),
             "version": self.network.version,
             "fingerprint": self.fingerprint,
@@ -340,4 +473,5 @@ class EngineHandle:
             resilience=spec["resilience"],
             row_cache_rows=spec["row_cache_rows"],
             collect_stats=spec["collect_stats"],
+            subpath_cache_mb=spec.get("subpath_cache_mb", 0.0),
         )

@@ -39,6 +39,7 @@ from repro.exceptions import (
     ServiceOverloadedError,
     WorkerCrashedError,
 )
+from repro.service.keys import extract_query_text
 from repro.service.service import QueryService
 
 __all__ = ["ServiceHTTPServer", "make_server"]
@@ -121,17 +122,24 @@ class _Handler(BaseHTTPRequestHandler):
                 status_code, status = 503, "draining"
             else:
                 status_code, status = 200, "ok"
-            self._send_json(
-                status_code,
-                {
-                    "status": status,
-                    "engine": service.handle.fingerprint,
-                    "network_version": service.handle.version,
-                    "backend": service.config.backend,
-                    "workers": service.config.workers,
-                    "live_workers": service.backend.live_workers(),
-                },
-            )
+            payload = {
+                "status": status,
+                "engine": service.handle.fingerprint,
+                "network_version": service.handle.version,
+                "backend": service.config.backend,
+                "workers": service.config.workers,
+                "live_workers": service.backend.live_workers(),
+                # Index metadata rides the health probe so the router can
+                # surface per-replica index freshness without extra calls.
+                "index": service.handle.index_metadata(),
+            }
+            if service.reindexer is not None:
+                reindexer = service.reindexer
+                payload["index"]["reindexes"] = reindexer.reindexes
+                payload["index"]["last_reindex_unix"] = (
+                    reindexer.last_reindex_unix
+                )
+            self._send_json(status_code, payload)
         elif self.path == "/stats":
             self._send_json(200, service.stats())
         elif self.path == "/schema":
@@ -170,13 +178,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, ValueError("invalid or oversized request body"))
             return
         try:
-            payload = json.loads(self.rfile.read(length) or b"{}")
-            query_text = payload["query"]
+            query_text = extract_query_text(self.rfile.read(length))
         except (json.JSONDecodeError, KeyError, TypeError) as error:
             self._error(400, error)
-            return
-        if not isinstance(query_text, str):
-            self._error(400, TypeError("'query' must be a string"))
             return
 
         service = self.server.service

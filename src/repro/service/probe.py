@@ -24,10 +24,40 @@ import json
 import threading
 from typing import TYPE_CHECKING
 
-__all__ = ["HealthProber", "probe_replica"]
+__all__ = ["HealthProber", "probe_replica", "probe_replica_detail"]
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.router import ReplicaState, Router
+
+
+def probe_replica_detail(
+    host: str, port: int, *, timeout: float
+) -> tuple[str, dict]:
+    """One ``/healthz`` round-trip: ``(verdict, payload)``.
+
+    The verdict drives rotation (see :func:`probe_replica`); the payload is
+    whatever the replica reported — notably its ``"index"`` metadata block
+    (index generation, row coverage, sub-path cache hit rate, last-reindex
+    stamp), which the router stores per replica and re-exports from its own
+    ``/stats``.  An unreachable replica yields an empty payload.
+    """
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", "/healthz")
+        response = connection.getresponse()
+        payload = json.loads(response.read() or b"{}")
+    except (OSError, http.client.HTTPException, TimeoutError, ValueError):
+        return "unreachable", {}
+    finally:
+        connection.close()
+    if not isinstance(payload, dict):
+        payload = {}
+    status_text = payload.get("status")
+    if response.status == 200 and status_text == "ok":
+        return "ok", payload
+    if isinstance(status_text, str) and status_text:
+        return status_text, payload
+    return f"http-{response.status}", payload
 
 
 def probe_replica(host: str, port: int, *, timeout: float) -> str:
@@ -38,21 +68,8 @@ def probe_replica(host: str, port: int, *, timeout: float) -> str:
     anything else (``"closed"``, ...) — anything but ``"ok"`` takes the
     replica out of rotation.
     """
-    connection = http.client.HTTPConnection(host, port, timeout=timeout)
-    try:
-        connection.request("GET", "/healthz")
-        response = connection.getresponse()
-        payload = json.loads(response.read() or b"{}")
-    except (OSError, http.client.HTTPException, TimeoutError, ValueError):
-        return "unreachable"
-    finally:
-        connection.close()
-    status_text = payload.get("status")
-    if response.status == 200 and status_text == "ok":
-        return "ok"
-    if isinstance(status_text, str) and status_text:
-        return status_text
-    return f"http-{response.status}"
+    verdict, _ = probe_replica_detail(host, port, timeout=timeout)
+    return verdict
 
 
 class HealthProber:
@@ -108,8 +125,15 @@ class HealthProber:
             host, port = state.host, state.port
             if host is None or port is None:
                 continue
-            verdict = probe_replica(host, port, timeout=self.timeout_seconds)
-            self.router.record_probe(replica_id, verdict)
+            verdict, payload = probe_replica_detail(
+                host, port, timeout=self.timeout_seconds
+            )
+            index_info = payload.get("index")
+            self.router.record_probe(
+                replica_id,
+                verdict,
+                index_info=index_info if isinstance(index_info, dict) else None,
+            )
             verdicts[replica_id] = verdict
         self.sweeps += 1
         return verdicts

@@ -58,8 +58,8 @@ from repro.exceptions import (
     ServiceError,
     TransientFaultError,
 )
-from repro.service.cache import canonical_query_key
 from repro.service.config import RouterConfig
+from repro.service.keys import canonical_query_key, extract_query_text
 
 __all__ = [
     "HashRing",
@@ -198,6 +198,10 @@ class ReplicaState:
     completed: int = 0
     failed: int = 0
     last_probe: str | None = None
+    #: Index metadata from the replica's last health probe (generation,
+    #: row coverage, sub-path cache hit rate, last-reindex stamp) — lets
+    #: the router's /stats answer "has every replica adapted yet?".
+    index_info: dict | None = None
 
     @property
     def address(self) -> str | None:
@@ -220,6 +224,7 @@ class ReplicaState:
             "completed": self.completed,
             "failed": self.failed,
             "last_probe": self.last_probe,
+            "index": self.index_info,
         }
 
 
@@ -351,17 +356,20 @@ class Router:
                 state.quarantined = True
 
     def record_probe(
-        self, replica_id: str, verdict: str
+        self, replica_id: str, verdict: str, index_info: dict | None = None
     ) -> None:
         """Apply one health-probe verdict (``ok``/``draining``/anything else).
 
         Probes only steer rotation; they never clear quarantine — that is
         the supervisor's call (a quarantined replica may well answer its
-        ``/healthz`` right up to its next crash).
+        ``/healthz`` right up to its next crash).  ``index_info`` (when the
+        probe payload carried it) is stored verbatim for observability.
         """
         with self._lock:
             state = self._state(replica_id)
             state.last_probe = verdict
+            if index_info is not None:
+                state.index_info = index_info
             if verdict == "ok":
                 state.healthy = True
                 state.draining = False
@@ -390,12 +398,9 @@ class Router:
         spending a replica round-trip.
         """
         try:
-            payload = json.loads(body or b"{}")
-            query_text = payload["query"]
+            query_text = extract_query_text(body)
         except (json.JSONDecodeError, KeyError, TypeError) as error:
             return _local_error(400, error)
-        if not isinstance(query_text, str):
-            return _local_error(400, TypeError("'query' must be a string"))
         try:
             key = canonical_query_key(query_text)
         except QueryError as error:

@@ -43,16 +43,19 @@ from repro.core.results import OutlierResult
 from repro.hin.network import HeterogeneousInformationNetwork
 from repro.exceptions import (
     ServiceClosedError,
+    ServiceError,
     ServiceOverloadedError,
 )
 from repro.query.ast import Query
 from repro.service.admission import AdmissionController
+from repro.service.adaptive import Reindexer, WorkloadRecorder
 from repro.service.backends import ExecutionBackend, make_backend
 from repro.service.cache import ResultCache, canonical_query_key
 from repro.service.config import ServiceConfig
 from repro.service.handle import EngineHandle
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.index import MetaPathIndex
     from repro.engine.resilience import ResiliencePolicy
 
 __all__ = ["QueryService"]
@@ -112,12 +115,39 @@ class QueryService:
             max_entries=self.config.cache_max_entries,
             ttl_seconds=self.config.cache_ttl_seconds,
         )
+        # Attach the shared sub-path cache *before* the backend spawns:
+        # the process backend ships the engine spec to its workers, and the
+        # cache budget travels with it so every worker builds its own.
+        if self.config.subpath_cache_mb > 0:
+            handle.attach_subpath_cache(self.config.subpath_cache_mb)
+        self.recorder: WorkloadRecorder | None = None
+        self.reindexer: Reindexer | None = None
+        if self.config.adaptive:
+            concrete = handle._concrete_strategy()
+            if getattr(concrete, "name", "custom") != "spm":
+                raise ServiceError(
+                    "adaptive re-indexing requires the spm strategy (the "
+                    "index it re-plans), but this engine serves "
+                    f"{getattr(concrete, 'name', 'custom')!r}"
+                )
+            self.recorder = WorkloadRecorder(
+                max_entries=self.config.admission_log_entries,
+                spill_path=self.config.admission_log_path,
+            )
         self.backend: ExecutionBackend = make_backend(
             handle,
             backend=self.config.backend,
             workers=self.config.workers,
             timeout_seconds=self.config.timeout_seconds,
         )
+        if self.config.adaptive:
+            self.reindexer = Reindexer(
+                self,
+                interval_seconds=self.config.reindex_interval_seconds,
+                min_new_queries=self.config.reindex_min_queries,
+                max_index_mb=self.config.max_index_mb,
+            )
+            self.reindexer.start()
         self._lock = threading.Lock()
         self._closed = False
         self._draining = False
@@ -173,6 +203,14 @@ class QueryService:
            :class:`~repro.exceptions.ServiceOverloadedError`.
         """
         key = canonical_query_key(query)
+        # Feed the adaptive workload log before any other gate: cache hits
+        # and coalesced submissions are *demand* too — a vertex served
+        # entirely from the result cache today still deserves index rows
+        # when the cache churns tomorrow.  Recording is O(1) under the
+        # recorder's own lock; a well-formed query that is then shed or
+        # refused contributes one (negligible) phantom log entry.
+        if self.recorder is not None and not self._closed and not self._draining:
+            self.recorder.record(key)
         with self._lock:
             if self._closed or self._draining:
                 raise ServiceClosedError(
@@ -264,6 +302,37 @@ class QueryService:
         return self.cache.invalidate()
 
     # ------------------------------------------------------------------
+    # Adaptive indexing
+    # ------------------------------------------------------------------
+    def apply_index_swap(self, index: "MetaPathIndex") -> int:
+        """Hot-swap the served SPM index, then roll it out to the backend.
+
+        Two halves, in the only safe order: the parent handle swaps first
+        (:meth:`~repro.service.handle.EngineHandle.swap_index` bumps the
+        network version, which invalidates old result-cache entries), then
+        the backend adopts it — a no-op for threads, a shared-memory
+        segment generation roll for processes.  In the overlap window both
+        engines answer, and both answers are byte-identical by
+        construction.  Returns the new network version.
+        """
+        version = self.handle.swap_index(index)
+        self.backend.refresh_engine()
+        return version
+
+    def reindex_now(self) -> bool:
+        """Run one adaptive re-index cycle synchronously (operator hook).
+
+        Returns True when a swap landed; raises
+        :class:`~repro.exceptions.ServiceError` when the service was not
+        configured with ``adaptive=True``.
+        """
+        if self.reindexer is None:
+            raise ServiceError(
+                "this service was not configured with adaptive=True"
+            )
+        return self.reindexer.run_once()
+
+    # ------------------------------------------------------------------
     # Completion (single exit path for every submitted request)
     # ------------------------------------------------------------------
     def _finish(
@@ -350,7 +419,13 @@ class QueryService:
             if self._closed:
                 return
             self._closed = True
+        # Stop the re-indexer before the backend: a swap must never race a
+        # teardown (refresh_engine refuses once closing anyway).
+        if self.reindexer is not None:
+            self.reindexer.stop()
         self.backend.close(drain=drain)
+        if self.recorder is not None:
+            self.recorder.close()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -385,17 +460,35 @@ class QueryService:
             "fingerprint": self.handle.fingerprint,
             "network_version": self.handle.version,
             "index_size_bytes": self.handle.index_size_bytes(),
+            # Index metadata (version, row coverage, sub-path cache hit
+            # rate, last-reindex stamp): the observability surface the
+            # router's probe and /stats consumers read.
+            "index": self.handle.index_metadata(),
         }
+        if self.handle.subpath_cache is not None:
+            subpath = self.handle.subpath_cache.snapshot()
+            engine["subpath_cache_hit_rate"] = subpath["hit_rate"]
+            engine["subpath_cache"] = subpath
         if self.handle.row_cache is not None:
             # One-lock snapshot: hit rate and row count from the same moment.
             row_cache = self.handle.row_cache.snapshot()
             engine["row_cache_hit_rate"] = row_cache["hit_rate"]
             engine["row_cache_rows"] = row_cache["rows"]
             engine["row_cache"] = row_cache
-        return {
+        snapshot = {
             "service": service,
             "admission": self.admission.snapshot(),
             "cache": self.cache.snapshot(),
             "engine": engine,
             "backend": self.backend.stats(),
         }
+        if self.recorder is not None or self.reindexer is not None:
+            snapshot["adaptive"] = {
+                "recorder": (
+                    self.recorder.stats() if self.recorder is not None else None
+                ),
+                "reindexer": (
+                    self.reindexer.stats() if self.reindexer is not None else None
+                ),
+            }
+        return snapshot

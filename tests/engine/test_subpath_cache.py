@@ -1,0 +1,196 @@
+"""Tests for :class:`repro.engine.caching.SubpathCache`.
+
+The sub-path cache memoizes canonical *length-2 segment products* — the
+partial CSR matmuls every strategy's blocked materialization repeats — so
+the contract under test is two-sided:
+
+* as a cache: byte-budgeted LRU, version invalidation, oversized-entry
+  rejection, and a self-healing answer to injected ``subpath.get`` /
+  ``subpath.put`` faults (a cache must never fail a query);
+* as an accelerator: Baseline and SPM with the cache attached produce
+  rows *byte-identical* to the uncached strategy (path counts are exact
+  small integers in float64, so reassociated sparse products agree
+  exactly, not approximately).
+"""
+
+from __future__ import annotations
+
+import pytest
+from scipy import sparse
+
+from repro import faultinject
+from repro.engine.caching import SubpathCache
+from repro.engine.strategies import BaselineStrategy, SPMStrategy
+from repro.exceptions import ExecutionError
+from repro.faultinject import FaultRule
+from repro.metapath.materialize import decompose_length2, materialize
+from repro.metapath.metapath import MetaPath
+
+APV = MetaPath.parse("author.paper.venue")
+APA = MetaPath.parse("author.paper.author")
+APVPA = MetaPath.parse("author.paper.venue.paper.author")
+APTPA = MetaPath.parse("author.paper.term.paper.author")
+
+
+def _segments(path):
+    segments, _tail = decompose_length2(path)
+    return segments
+
+
+def _rows_equal(left: sparse.csr_matrix, right: sparse.csr_matrix) -> bool:
+    """Byte-level equality after canonicalization (sorted, deduplicated)."""
+    left = left.tocsr().copy()
+    right = right.tocsr().copy()
+    for matrix in (left, right):
+        matrix.sum_duplicates()
+        matrix.sort_indices()
+        matrix.eliminate_zeros()
+    return (
+        left.shape == right.shape
+        and left.indices.tobytes() == right.indices.tobytes()
+        and left.data.tobytes() == right.data.tobytes()
+    )
+
+
+class TestCacheMechanics:
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ExecutionError):
+            SubpathCache(max_bytes=0)
+
+    def test_put_get_roundtrip(self, figure1):
+        cache = SubpathCache(max_bytes=1 << 20)
+        segment = _segments(APVPA)[0]
+        product = materialize(figure1, segment)
+        assert cache.get(segment, 1) is None
+        cache.put(segment, 1, product)
+        hit = cache.get(segment, 1)
+        assert hit is not None and _rows_equal(hit, product)
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_version_mismatch_clears_wholesale(self, figure1):
+        cache = SubpathCache(max_bytes=1 << 20)
+        segment = _segments(APVPA)[0]
+        cache.put(segment, 1, materialize(figure1, segment))
+        # A bumped network version invalidates everything stored before it.
+        assert cache.get(segment, 2) is None
+        assert cache.snapshot()["entries"] == 0
+
+    def test_lru_eviction_respects_byte_budget(self, figure1):
+        seg_v, seg_t = _segments(APVPA)[0], _segments(APTPA)[0]
+        prod_v = materialize(figure1, seg_v)
+        prod_t = materialize(figure1, seg_t)
+        # Budget fits one product, never both.
+        from repro.utils.sparsetools import csr_storage_bytes
+
+        budget = max(csr_storage_bytes(prod_v), csr_storage_bytes(prod_t)) + 1
+        cache = SubpathCache(max_bytes=budget)
+        cache.put(seg_v, 1, prod_v)
+        cache.put(seg_t, 1, prod_t)  # evicts seg_v (least recent)
+        snapshot = cache.snapshot()
+        assert snapshot["entries"] == 1
+        assert snapshot["evictions"] == 1
+        assert snapshot["bytes"] <= budget
+        assert cache.get(seg_t, 1) is not None
+        assert cache.get(seg_v, 1) is None
+
+    def test_oversized_entry_rejected_not_stored(self, figure1):
+        segment = _segments(APVPA)[0]
+        product = materialize(figure1, segment)
+        cache = SubpathCache(max_bytes=1)
+        cache.put(segment, 1, product)
+        snapshot = cache.snapshot()
+        assert snapshot["entries"] == 0
+        assert snapshot["rejected"] == 1
+
+    def test_clear_resets_counters(self, figure1):
+        cache = SubpathCache(max_bytes=1 << 20)
+        segment = _segments(APVPA)[0]
+        cache.put(segment, 1, materialize(figure1, segment))
+        cache.get(segment, 1)
+        cache.clear()
+        snapshot = cache.snapshot()
+        assert snapshot["entries"] == 0
+        assert snapshot["hits"] == 0 and snapshot["misses"] == 0
+
+
+class TestFaultSelfHealing:
+    def test_get_fault_drops_entry_and_misses(self, figure1):
+        cache = SubpathCache(max_bytes=1 << 20)
+        segment = _segments(APVPA)[0]
+        cache.put(segment, 1, materialize(figure1, segment))
+        with faultinject.inject(FaultRule(point="subpath.get", times=1)):
+            assert cache.get(segment, 1) is None  # a miss, never an error
+        snapshot = cache.snapshot()
+        assert snapshot["faulted_gets"] == 1
+        assert snapshot["entries"] == 0  # suspect entry dropped
+        # The next round-trip repopulates cleanly.
+        cache.put(segment, 1, materialize(figure1, segment))
+        assert cache.get(segment, 1) is not None
+
+    def test_put_fault_skips_insert(self, figure1):
+        cache = SubpathCache(max_bytes=1 << 20)
+        segment = _segments(APVPA)[0]
+        with faultinject.inject(FaultRule(point="subpath.put", times=1)):
+            cache.put(segment, 1, materialize(figure1, segment))
+        snapshot = cache.snapshot()
+        assert snapshot["faulted_puts"] == 1
+        assert snapshot["entries"] == 0
+
+    def test_faulted_cache_never_fails_a_query(self, figure1):
+        strategy = BaselineStrategy(figure1)
+        strategy.subpath_cache = SubpathCache(max_bytes=1 << 20)
+        indices = [v.index for v in figure1.vertices("author")]
+        truth = materialize(figure1, APVPA)[indices]
+        with faultinject.inject(
+            FaultRule(point="subpath.get", times=None),
+            FaultRule(point="subpath.put", times=None),
+        ):
+            block = strategy.neighbor_matrix(APVPA, indices)
+            block_again = strategy.neighbor_matrix(APVPA, indices)
+        assert _rows_equal(block, truth)
+        assert _rows_equal(block_again, truth)
+        snapshot = strategy.subpath_cache.snapshot()
+        assert snapshot["faulted_puts"] > 0  # writes skipped, queries fine
+
+
+class TestStrategyIntegration:
+    @pytest.mark.parametrize("path", [APV, APA, APVPA, APTPA])
+    def test_baseline_blocks_byte_identical_with_cache(self, figure1, path):
+        indices = [v.index for v in figure1.vertices("author")]
+        plain = BaselineStrategy(figure1)
+        cached = BaselineStrategy(figure1)
+        cached.subpath_cache = SubpathCache(max_bytes=8 << 20)
+        assert _rows_equal(
+            plain.neighbor_matrix(path, indices),
+            cached.neighbor_matrix(path, indices),
+        )
+
+    @pytest.mark.parametrize("path", [APVPA, APTPA])
+    def test_spm_blocks_byte_identical_with_cache(self, figure1, path):
+        indices = [v.index for v in figure1.vertices("author")]
+        selected = list(figure1.vertices("author"))[::2]
+        plain = SPMStrategy(figure1, selected=selected)
+        cached = SPMStrategy(figure1, selected=selected)
+        cached.subpath_cache = SubpathCache(max_bytes=8 << 20)
+        block = cached.neighbor_matrix(path, indices)
+        assert _rows_equal(block, plain.neighbor_matrix(path, indices))
+        assert _rows_equal(block, materialize(figure1, path)[indices])
+        assert cached.subpath_cache.misses > 0  # the cache was consulted
+
+    def test_shared_cache_hits_across_strategies(self, figure1):
+        """One cache, two strategy instances: the second rides the first's
+        segment products — the cross-query sharing the service relies on."""
+        cache = SubpathCache(max_bytes=8 << 20)
+        indices = [v.index for v in figure1.vertices("author")]
+        first = BaselineStrategy(figure1)
+        first.subpath_cache = cache
+        first.neighbor_matrix(APVPA, indices)
+        misses_after_first = cache.misses
+        assert misses_after_first > 0
+        second = BaselineStrategy(figure1)
+        second.subpath_cache = cache
+        second.neighbor_matrix(APVPA, indices)
+        assert cache.misses == misses_after_first  # all hits
+        assert cache.hits > 0
+        assert cache.hit_rate > 0.0
