@@ -1,0 +1,118 @@
+"""CI smoke check: the quick zoo grid must match the committed golden report.
+
+Runs the detector zoo in quick mode (every registered detector over every
+scenario, seed 0) and diffs the deterministic projection of the report —
+scores, rankings, metrics; timings stripped — against the golden fixture
+committed at ``tests/zoo/golden/zoo_quick.json``.
+
+Any drift means detector behavior changed: either a regression, or an
+intentional change that must re-pin the fixture (run this script with
+``--update`` and commit the result alongside the change).
+
+Usage::
+
+    PYTHONPATH=src python scripts/zoo_smoke.py            # check
+    PYTHONPATH=src python scripts/zoo_smoke.py --update   # re-pin fixture
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.zoo import ZooRunConfig, run_zoo, strip_timings
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "tests"
+    / "zoo"
+    / "golden"
+    / "zoo_quick.json"
+)
+
+#: The exact configuration the golden fixture pins.
+GOLDEN_CONFIG = ZooRunConfig(seeds=(0,), k=5, quick=True)
+
+
+def golden_report() -> dict:
+    """The deterministic quick-grid report (the golden projection)."""
+    # A JSON round-trip normalizes types (tuples to lists) so the comparison
+    # against the loaded fixture is apples to apples.
+    return json.loads(json.dumps(strip_timings(run_zoo(GOLDEN_CONFIG))))
+
+
+def _first_difference(expected, actual, path="report"):
+    """Human-readable location of the first mismatch between two JSON trees."""
+    if type(expected) is not type(actual):
+        return f"{path}: type {type(expected).__name__} != {type(actual).__name__}"
+    if isinstance(expected, dict):
+        for key in sorted(set(expected) | set(actual)):
+            if key not in expected:
+                return f"{path}.{key}: unexpected key"
+            if key not in actual:
+                return f"{path}.{key}: missing key"
+            found = _first_difference(expected[key], actual[key], f"{path}.{key}")
+            if found:
+                return found
+        return None
+    if isinstance(expected, list):
+        if len(expected) != len(actual):
+            return f"{path}: length {len(expected)} != {len(actual)}"
+        for index, (left, right) in enumerate(zip(expected, actual)):
+            found = _first_difference(left, right, f"{path}[{index}]")
+            if found:
+                return found
+        return None
+    if expected != actual:
+        return f"{path}: {expected!r} != {actual!r}"
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the golden fixture from the current run",
+    )
+    args = parser.parse_args(argv)
+
+    report = golden_report()
+    if args.update:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"re-pinned {GOLDEN_PATH} ({len(report['results'])} grid cells)")
+        return 0
+
+    if not GOLDEN_PATH.exists():
+        print(f"FAIL: golden fixture missing at {GOLDEN_PATH}", file=sys.stderr)
+        print("run with --update to create it", file=sys.stderr)
+        return 1
+    expected = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    difference = _first_difference(expected, report)
+    if difference:
+        print("FAIL: zoo quick-grid report drifted from the golden fixture",
+              file=sys.stderr)
+        print(f"  first difference at {difference}", file=sys.stderr)
+        print(
+            "  if the change is intentional, re-pin with "
+            "`PYTHONPATH=src python scripts/zoo_smoke.py --update`",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: zoo quick grid matches the golden fixture "
+        f"({len(report['results'])} cells, "
+        f"{len(report['detectors'])} detectors x "
+        f"{len(report['scenarios'])} scenarios)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,11 @@ Subcommands::
     repro shell    --network corpus.json
     repro serve    --network corpus.json --port 8080 --workers 8
     repro route    --network corpus.json --replicas 3 --port 8080
+    repro zoo      [--scenario NAME] [--detector NAME] [--quick] [--out FILE]
+
+``repro zoo`` runs the detector-zoo evaluation grid — NetOut and every
+baseline over the planted-outlier scenarios — and reports ROC AUC,
+precision@k, and average precision per cell (see ``docs/detector_zoo.md``).
 
 ``repro serve`` runs the concurrent query service of
 :mod:`repro.service` behind a stdlib JSON/HTTP frontend — see
@@ -407,6 +412,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="exit after routing N HTTP requests (smoke tests)",
+    )
+
+    zoo = commands.add_parser(
+        "zoo",
+        help="run the detector-zoo evaluation grid on planted-outlier "
+        "scenarios",
+    )
+    zoo.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scenario to run (repeatable; default: all). "
+        "Pass 'list' to print the registered scenarios",
+    )
+    zoo.add_argument(
+        "--detector",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="detector to run (repeatable; default: all). "
+        "Pass 'list' to print the registered detectors",
+    )
+    zoo.add_argument(
+        "--seeds",
+        default="0",
+        help="comma-separated scenario seeds (default: 0)",
+    )
+    zoo.add_argument(
+        "--k", type=int, default=5, help="precision@k cut-off (default: 5)"
+    )
+    zoo.add_argument(
+        "--quick",
+        action="store_true",
+        help="small scenario sizes (CI smoke; also via BENCH_SMOKE=1)",
+    )
+    zoo.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the full JSON report to FILE",
     )
 
     return parser
@@ -814,6 +860,59 @@ def _command_route(args, out) -> int:
     return 0
 
 
+def _command_zoo(args, out) -> int:
+    import json
+    import os
+
+    from repro.zoo import (
+        ZooRunConfig,
+        available_detectors,
+        available_scenarios,
+        get_detector_spec,
+        get_scenario,
+        render_summary,
+        run_zoo,
+    )
+
+    if args.scenario and "list" in args.scenario:
+        for name in available_scenarios():
+            print(f"{name:<20} {get_scenario(name).summary}", file=out)
+        return 0
+    if args.detector and "list" in args.detector:
+        for name in available_detectors():
+            print(f"{name:<10} {get_detector_spec(name).summary}", file=out)
+        return 0
+
+    try:
+        seeds = tuple(
+            int(chunk) for chunk in args.seeds.split(",") if chunk.strip()
+        )
+    except ValueError:
+        raise ReproError(f"--seeds must be comma-separated integers, got {args.seeds!r}")
+    # Validate names up front for a clean error instead of a mid-run one.
+    for name in args.scenario or ():
+        get_scenario(name)
+    for name in args.detector or ():
+        get_detector_spec(name)
+    config = ZooRunConfig(
+        scenarios=tuple(args.scenario or ()),
+        detectors=tuple(args.detector or ()),
+        seeds=seeds,
+        k=args.k,
+        quick=args.quick or os.environ.get("BENCH_SMOKE") == "1",
+    )
+    report = run_zoo(config)
+    print(render_summary(report), file=out)
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote report to {args.out}", file=out)
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Shell
 # ----------------------------------------------------------------------
@@ -934,6 +1033,7 @@ def main(argv: list[str] | None = None, *, out=None, stdin=None) -> int:
         "shell": lambda: _command_shell(args, out, stdin),
         "serve": lambda: _command_serve(args, out),
         "route": lambda: _command_route(args, out),
+        "zoo": lambda: _command_zoo(args, out),
     }
     try:
         return handlers[args.command]()

@@ -24,7 +24,9 @@ from repro.datagen.synthetic import (
     BibliographicNetworkGenerator,
     EgoNetworkSpec,
     GeneratorConfig,
+    StructuralOutlierCorpus,
     hub_ego_corpus,
+    structural_outlier_corpus,
 )
 from repro.datagen.workloads import generate_query_set, random_author_anchors
 from repro.datagen.security import SecurityNetworkGenerator, security_schema
@@ -40,6 +42,8 @@ __all__ = [
     "BibliographicNetworkGenerator",
     "EgoNetworkSpec",
     "hub_ego_corpus",
+    "StructuralOutlierCorpus",
+    "structural_outlier_corpus",
     "generate_query_set",
     "random_author_anchors",
     "SecurityNetworkGenerator",

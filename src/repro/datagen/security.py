@@ -8,20 +8,33 @@ network of users, hosts, security alerts, and alert categories:
 * ``host — alert``  (alerts raised on the host)
 * ``alert — category`` (each alert has a category)
 
-A *compromised host* is planted: it receives an unusual mix of alert
-categories relative to its peers, so a query like::
+Two outlier archetypes can be planted, each with exact ground truth:
 
-    FIND OUTLIERS FROM user{"analyst-0"}.host
-    JUDGED BY host.alert.category
-    TOP 5;
+* a *compromised host* receives an unusual mix of alert categories
+  relative to its peers, so a query like::
 
-surfaces it — demonstrating that the query language and NetOut work
-unchanged on a non-bibliographic schema.
+      FIND OUTLIERS FROM user{"analyst-0"}.host
+      JUDGED BY host.alert.category
+      TOP 5;
+
+  surfaces it — demonstrating that the query language and NetOut work
+  unchanged on a non-bibliographic schema;
+* a *fraud ring* is a clique of planted users whose entire login activity
+  concentrates on one small shared set of ring hosts — the collusion
+  pattern (shared-resource abuse) the detector zoo's ``fraud-ring``
+  scenario evaluates.  Normal users touch ~10 % random hosts outside their
+  working pool; ring members never leave the ring, so their ``user.host``
+  profiles are near-identical to each other and unlike everyone else's.
+
+The generator reports exactly which vertices it perturbed
+(:attr:`SecurityCorpus.compromised_hosts`, :attr:`SecurityCorpus.fraud_users`,
+:attr:`SecurityCorpus.ring_hosts`), making every planting a labeled
+ground-truth set for evaluation harnesses.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -45,11 +58,30 @@ def security_schema() -> NetworkSchema:
 
 @dataclass
 class SecurityCorpus:
-    """Generated network plus the planted ground truth."""
+    """Generated network plus the planted ground truth.
+
+    Attributes
+    ----------
+    network:
+        The generated heterogeneous network.
+    compromised_hosts:
+        Hosts planted with attack-category alert bursts (empty when
+        ``num_compromised=0``).
+    analyst_users:
+        The regular (non-planted) user population, in index order.
+    fraud_users:
+        Users planted as a collusion ring (empty when
+        ``num_fraud_users=0``).
+    ring_hosts:
+        The shared hosts the fraud ring concentrates on (empty when no
+        ring was planted).
+    """
 
     network: HeterogeneousInformationNetwork
     compromised_hosts: list[str]
     analyst_users: list[str]
+    fraud_users: list[str] = field(default_factory=list)
+    ring_hosts: list[str] = field(default_factory=list)
 
 
 _BENIGN_CATEGORIES = (
@@ -81,6 +113,12 @@ class SecurityNetworkGenerator:
         Expected benign alerts per host.
     num_compromised:
         Hosts to plant with attack-category alert profiles.
+    num_fraud_users:
+        Users to plant as a collusion ring concentrated on ``ring_size``
+        shared hosts (0 disables the ring and leaves generation
+        byte-identical to earlier versions).
+    ring_size:
+        Distinct hosts the fraud ring shares.
     seed:
         Determinism seed.
     """
@@ -93,16 +131,25 @@ class SecurityNetworkGenerator:
         logins_per_user: int = 30,
         alerts_per_host: int = 12,
         num_compromised: int = 2,
+        num_fraud_users: int = 0,
+        ring_size: int = 3,
         seed: int | np.random.Generator = 0,
     ) -> None:
         require(num_users >= 1, "num_users must be >= 1")
         require(num_hosts >= 2, "num_hosts must be >= 2")
         require(0 <= num_compromised <= num_hosts, "num_compromised out of range")
+        require(num_fraud_users >= 0, "num_fraud_users must be >= 0")
+        require(
+            num_fraud_users == 0 or 1 <= ring_size <= num_hosts,
+            "ring_size out of range",
+        )
         self.num_users = num_users
         self.num_hosts = num_hosts
         self.logins_per_user = logins_per_user
         self.alerts_per_host = alerts_per_host
         self.num_compromised = num_compromised
+        self.num_fraud_users = num_fraud_users
+        self.ring_size = ring_size
         self._rng = ensure_rng(seed)
 
     def generate(self) -> SecurityCorpus:
@@ -151,8 +198,35 @@ class SecurityNetworkGenerator:
             for user in users[: max(3, self.num_users // 10)]:
                 builder.add_edge("user", user, "host", host)
 
+        # Planted fraud ring: a clique of users whose logins all land on one
+        # small shared host set (and nowhere else).  Ring hosts avoid the
+        # compromised set so the two archetypes stay independently labeled.
+        fraud_users: list[str] = []
+        ring_hosts: list[str] = []
+        if self.num_fraud_users:
+            eligible = [h for h in hosts if h not in set(compromised)]
+            require(
+                len(eligible) >= self.ring_size,
+                "not enough uncompromised hosts for the fraud ring",
+            )
+            ring_hosts = [
+                str(h)
+                for h in rng.choice(eligible, size=self.ring_size, replace=False)
+            ]
+            fraud_users = [f"fraud-user-{i}" for i in range(self.num_fraud_users)]
+            for user in fraud_users:
+                # Cover every ring host at least once, then concentrate the
+                # remaining sessions randomly inside the ring.
+                for host in ring_hosts:
+                    builder.add_edge("user", user, "host", host)
+                for _ in range(max(0, self.logins_per_user - self.ring_size)):
+                    host = ring_hosts[int(rng.integers(self.ring_size))]
+                    builder.add_edge("user", user, "host", host)
+
         return SecurityCorpus(
             network=builder.build(),
             compromised_hosts=[str(h) for h in compromised],
             analyst_users=users,
+            fraud_users=fraud_users,
+            ring_hosts=ring_hosts,
         )

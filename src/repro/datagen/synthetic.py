@@ -37,6 +37,8 @@ __all__ = [
     "BibliographicNetworkGenerator",
     "EgoNetworkSpec",
     "hub_ego_corpus",
+    "StructuralOutlierCorpus",
+    "structural_outlier_corpus",
 ]
 
 
@@ -368,5 +370,76 @@ def hub_ego_corpus(
         normal_coauthors=sorted(normal_coauthors),
         cross_field=cross_field,
         students=students,
+        publications=publications,
+    )
+
+
+@dataclass
+class StructuralOutlierCorpus:
+    """A synthetic corpus with planted *structural* outlier authors.
+
+    Unlike the attribute archetype (a normal-degree author with an unusual
+    venue profile), a structural outlier has an abnormal *shape*: an order
+    of magnitude more papers than any real author, all single-authored, and
+    scattered uniformly over every community's venues — the
+    degree-plus-boundary anomaly classical structural detectors target.
+    """
+
+    network: HeterogeneousInformationNetwork
+    outlier_authors: list[str]
+    publications: list[Publication] = field(repr=False, default_factory=list)
+
+
+def structural_outlier_corpus(
+    config: GeneratorConfig | None = None,
+    *,
+    num_outliers: int = 3,
+    papers_per_outlier: int = 40,
+    seed: int = 0,
+) -> StructuralOutlierCorpus:
+    """Generate a corpus with planted structural outlier authors.
+
+    Each planted author (``Structural-1`` ...) publishes
+    ``papers_per_outlier`` single-author papers whose venues cycle through
+    *every* community (venue ranks drawn with the corpus's own skew).  With
+    community authors averaging a handful of coauthored, home-community
+    papers, the planted records are extreme in both degree and
+    cross-community spread while remaining attribute-plausible paper by
+    paper.  Deterministic given ``seed``.
+    """
+    require(num_outliers >= 1, "num_outliers must be >= 1")
+    require(papers_per_outlier >= 1, "papers_per_outlier must be >= 1")
+    generator = BibliographicNetworkGenerator(config, seed=seed)
+    config = generator.config
+    rng = ensure_rng(seed + 1)
+    publications = generator.generate_publications()
+    counter = len(publications)
+    venue_weights = _zipf_weights(config.venues_per_community, config.venue_skew)
+
+    outliers: list[str] = []
+    for i in range(num_outliers):
+        name = f"Structural-{i + 1}"
+        outliers.append(name)
+        for j in range(papers_per_outlier):
+            counter += 1
+            community = j % config.num_communities
+            venue = generator.venue_name(
+                community,
+                int(rng.choice(config.venues_per_community, p=venue_weights)),
+            )
+            publications.append(
+                Publication(
+                    f"S{counter:07d}",
+                    [name],
+                    venue,
+                    terms=[generator.common_term_name(i % max(1, config.common_terms))]
+                    if config.common_terms
+                    else [generator.term_name(community, 0)],
+                )
+            )
+
+    return StructuralOutlierCorpus(
+        network=generator.build_network(publications),
+        outlier_authors=outliers,
         publications=publications,
     )

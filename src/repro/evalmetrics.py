@@ -5,13 +5,17 @@ ablation) judge a ranking against known ground truth.  These are the
 standard retrieval metrics over ranked lists, shared by the benchmarks and
 available to downstream users evaluating their own measures.
 
-All functions take the ranked list *most-outlying first* and a collection
-of relevant (ground-truth) items.
+All ranked-list functions take the ranking *most-outlying first* and a
+collection of relevant (ground-truth) items; :func:`roc_auc` instead takes
+per-item binary labels and raw scores (higher = more outlying), the form
+the detector-zoo harness produces.
 """
 
 from __future__ import annotations
 
 from typing import Collection, Sequence
+
+import numpy as np
 
 from repro.exceptions import MeasureError
 
@@ -21,6 +25,7 @@ __all__ = [
     "average_precision",
     "reciprocal_rank",
     "rank_of",
+    "roc_auc",
 ]
 
 
@@ -80,6 +85,59 @@ def reciprocal_rank(ranked: Sequence, relevant: Collection) -> float:
         if item in relevant_set:
             return 1.0 / position
     return 0.0
+
+
+def roc_auc(labels: Sequence, scores: Sequence[float]) -> float:
+    """Area under the ROC curve of ``scores`` against binary ``labels``.
+
+    ``labels`` are truthy for positives (planted outliers) and falsy for
+    negatives; ``scores`` are detector decision scores where **higher means
+    more outlying**.  Computed via the rank-statistic identity
+
+        AUC = (R⁺ - n⁺(n⁺ + 1)/2) / (n⁺ n⁻)
+
+    where ``R⁺`` is the sum of the positives' ranks under *tie-averaged*
+    ranking (mid-ranks), which makes the estimate exact in the presence of
+    tied scores: a tie between a positive and a negative contributes 1/2,
+    matching the trapezoidal ROC sweep.
+
+    Raises
+    ------
+    MeasureError
+        On length mismatch, non-finite scores, or degenerate labels (all
+        positive or all negative — the ROC curve is undefined there).
+    """
+    y = np.asarray([bool(label) for label in labels])
+    s = np.asarray(scores, dtype=float)
+    if y.shape != s.shape or y.ndim != 1:
+        raise MeasureError(
+            f"labels and scores must be equal-length 1-D sequences, got "
+            f"shapes {y.shape} and {s.shape}"
+        )
+    if not np.isfinite(s).all():
+        raise MeasureError("scores must be finite to compute an AUC")
+    num_pos = int(y.sum())
+    num_neg = int(y.size - num_pos)
+    if num_pos == 0 or num_neg == 0:
+        raise MeasureError(
+            f"AUC needs both classes present, got {num_pos} positives and "
+            f"{num_neg} negatives"
+        )
+    # Tie-averaged (mid) ranks, 1-based: for each group of equal scores the
+    # rank is the mean of the positions the group spans.
+    order = np.argsort(s, kind="mergesort")
+    sorted_scores = s[order]
+    # Boundaries of tied groups in the sorted order.
+    boundaries = np.flatnonzero(np.diff(sorted_scores) != 0.0) + 1
+    starts = np.concatenate(([0], boundaries))
+    stops = np.concatenate((boundaries, [s.size]))
+    ranks = np.empty(s.size, dtype=float)
+    for start, stop in zip(starts, stops):
+        ranks[order[start:stop]] = 0.5 * (start + stop - 1) + 1.0
+    positive_rank_sum = float(ranks[y].sum())
+    return (positive_rank_sum - num_pos * (num_pos + 1) / 2.0) / (
+        num_pos * num_neg
+    )
 
 
 def rank_of(item, ranked: Sequence) -> int | None:

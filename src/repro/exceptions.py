@@ -20,6 +20,7 @@ __all__ = [
     "QuerySemanticError",
     "ExecutionError",
     "MeasureError",
+    "UnsupportedSchemaError",
     "DeadlineExceededError",
     "ResourceLimitError",
     "CircuitOpenError",
@@ -108,6 +109,29 @@ class ExecutionError(ReproError):
 
 class MeasureError(ReproError):
     """An outlierness measure was misconfigured or given invalid input."""
+
+
+class UnsupportedSchemaError(MeasureError):
+    """A zoo detector was asked to score a network its schema cannot serve.
+
+    The detector-zoo contract (:mod:`repro.zoo`) requires every detector to
+    refuse an incompatible scenario *gracefully*: a query whose member type
+    or feature meta-path does not exist in the fitted network's schema
+    raises this typed error instead of an arbitrary ``KeyError`` deep inside
+    materialization.  Subclasses :class:`MeasureError` so existing
+    measure-level handlers keep catching it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        detector: str | None = None,
+        schema_detail: str | None = None,
+    ):
+        super().__init__(message)
+        self.detector = detector
+        self.schema_detail = schema_detail
 
 
 class DeadlineExceededError(ExecutionError):

@@ -1,0 +1,60 @@
+"""The detector zoo: every method, one contract, one evaluation grid.
+
+A cross-detector evaluation harness for query-based outlier detection.
+The zoo wraps NetOut (through the full query engine) and all seven
+:mod:`repro.baselines` methods behind a uniform pygod-style
+``fit(network)`` / ``decision_scores(query)`` contract
+(:mod:`~repro.zoo.contract`), runs them over a planted-outlier scenario
+grid with exact ground-truth labels (:mod:`~repro.zoo.scenarios`), and
+reports ROC AUC, precision@k, and average precision per
+(detector, scenario, seed) cell (:mod:`~repro.zoo.harness`).
+
+Entry points: ``repro zoo`` on the command line,
+``benchmarks/bench_detector_zoo.py`` for the committed benchmark, and
+:func:`run_zoo` from code::
+
+    from repro.zoo import ZooRunConfig, run_zoo
+    report = run_zoo(ZooRunConfig(quick=True))
+"""
+
+from repro.zoo.contract import Detector, ZooQuery, candidate_features
+from repro.zoo.harness import (
+    REPORT_SCHEMA_VERSION,
+    ZooRunConfig,
+    render_summary,
+    run_zoo,
+    strip_timings,
+)
+from repro.zoo.registry import (
+    DetectorSpec,
+    available_detectors,
+    get_detector_spec,
+    make_detector,
+)
+from repro.zoo.scenarios import (
+    Scenario,
+    ScenarioInstance,
+    available_scenarios,
+    build_scenario,
+    get_scenario,
+)
+
+__all__ = [
+    "Detector",
+    "ZooQuery",
+    "candidate_features",
+    "DetectorSpec",
+    "available_detectors",
+    "get_detector_spec",
+    "make_detector",
+    "Scenario",
+    "ScenarioInstance",
+    "available_scenarios",
+    "get_scenario",
+    "build_scenario",
+    "ZooRunConfig",
+    "run_zoo",
+    "strip_timings",
+    "render_summary",
+    "REPORT_SCHEMA_VERSION",
+]

@@ -1,0 +1,197 @@
+"""The uniform detector contract of the zoo.
+
+Every detector — NetOut through the engine, and every
+:mod:`repro.baselines` method — is wrapped behind the same two-call
+pygod-style surface:
+
+* ``detector.fit(network)`` binds the detector to one heterogeneous
+  network (and may precompute network-global state);
+* ``detector.decision_scores(query)`` scores the query's candidate set and
+  returns one **float64 score per candidate, higher = more outlying**.
+
+The polarity is normalized here, at the contract boundary: NetOut's Ω and
+PathSim-style similarities (where *lower* means more outlying) come back
+negated, so the harness can rank, threshold, and compute AUC identically
+for every method.
+
+Contract invariants (pinned by ``tests/zoo/``):
+
+* the score vector has exactly ``len(query.candidate_indices)`` entries of
+  dtype float64, all finite;
+* two calls with the same fitted detector and the same query return
+  identical scores (determinism under a fixed ``query.seed``);
+* relabeling vertices (changing insertion order) permutes the scores with
+  them, for every detector whose registry entry declares
+  ``equivariant=True``;
+* a query whose member type or feature meta-path the fitted network's
+  schema cannot serve raises the typed
+  :class:`~repro.exceptions.UnsupportedSchemaError` — never a bare
+  ``KeyError`` from deep inside materialization.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import (
+    ExecutionError,
+    MeasureError,
+    MetaPathError,
+    UnsupportedSchemaError,
+)
+from repro.hin.network import HeterogeneousInformationNetwork, VertexId
+from repro.metapath.materialize import materialize
+from repro.metapath.metapath import MetaPath
+
+__all__ = ["ZooQuery", "Detector", "candidate_features"]
+
+
+@dataclass(frozen=True)
+class ZooQuery:
+    """One scenario evaluation request, shared by every detector.
+
+    Attributes
+    ----------
+    member_type:
+        Vertex type of the candidate set.
+    candidate_indices:
+        Vertex indices (within ``member_type``) to score, in a fixed order;
+        the score vector aligns with this order.
+    candidate_names:
+        Display names aligned with ``candidate_indices``.
+    feature_path:
+        The feature meta-path characterizing candidates (starts at
+        ``member_type``).
+    candidates_expr:
+        The candidate set in the outlier query language (e.g.
+        ``'author{"Prof. Hub"}.paper.author'``) — what the engine-backed
+        NetOut detector executes, and provenance for the report.
+    anchor:
+        The scenario's query vertex (seed of the exploration); used by
+        anchor-based detectors such as Personalized PageRank.
+    seed:
+        Determinism seed for stochastic detectors (NMF initialization,
+        k-means seeding).
+    """
+
+    member_type: str
+    candidate_indices: tuple[int, ...]
+    candidate_names: tuple[str, ...]
+    feature_path: MetaPath
+    candidates_expr: str
+    anchor: VertexId | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.candidate_indices) != len(self.candidate_names):
+            raise MeasureError(
+                "candidate_indices and candidate_names must align, got "
+                f"{len(self.candidate_indices)} vs {len(self.candidate_names)}"
+            )
+        if self.feature_path.source != self.member_type:
+            raise MeasureError(
+                f"feature path {self.feature_path} must start at the member "
+                f"type {self.member_type!r}"
+            )
+
+
+class Detector(abc.ABC):
+    """Base class of every zoo detector (the uniform contract).
+
+    Subclasses implement :meth:`_fit` (optional) and :meth:`_decision_scores`;
+    the base class owns the lifecycle checks and the schema validation that
+    turns incompatible scenarios into the typed
+    :class:`~repro.exceptions.UnsupportedSchemaError`.
+    """
+
+    #: Registry name; subclasses set this.
+    name: str = ""
+
+    def __init__(self) -> None:
+        self.network: HeterogeneousInformationNetwork | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def fit(self, network: HeterogeneousInformationNetwork) -> "Detector":
+        """Bind the detector to ``network``; returns ``self`` for chaining."""
+        if network is None:
+            raise MeasureError(f"detector {self.name!r} needs a network to fit")
+        self.network = network
+        self._fit(network)
+        return self
+
+    def decision_scores(self, query: ZooQuery) -> np.ndarray:
+        """Score ``query``'s candidates; higher = more outlying.
+
+        Returns a float64 vector aligned with ``query.candidate_indices``.
+        """
+        if self.network is None:
+            raise ExecutionError(
+                f"detector {self.name!r} must be fit(network) before "
+                "decision_scores()"
+            )
+        self._validate_schema(query)
+        if not query.candidate_indices:
+            return np.zeros(0, dtype=np.float64)
+        scores = np.asarray(self._decision_scores(query), dtype=np.float64)
+        if scores.shape != (len(query.candidate_indices),):
+            raise MeasureError(
+                f"detector {self.name!r} returned {scores.shape} scores for "
+                f"{len(query.candidate_indices)} candidates"
+            )
+        return scores
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _fit(self, network: HeterogeneousInformationNetwork) -> None:
+        """Optional subclass hook: precompute network-global state."""
+
+    @abc.abstractmethod
+    def _decision_scores(self, query: ZooQuery) -> np.ndarray:
+        """Produce the raw score vector (higher = more outlying)."""
+
+    # ------------------------------------------------------------------
+    # Schema validation
+    # ------------------------------------------------------------------
+    def _validate_schema(self, query: ZooQuery) -> None:
+        schema = self.network.schema
+        if not schema.has_vertex_type(query.member_type):
+            raise UnsupportedSchemaError(
+                f"detector {self.name!r} cannot serve this scenario: the "
+                f"fitted network has no vertex type {query.member_type!r}",
+                detector=self.name,
+                schema_detail=f"missing vertex type {query.member_type!r}",
+            )
+        try:
+            query.feature_path.validate(schema)
+        except MetaPathError as error:
+            raise UnsupportedSchemaError(
+                f"detector {self.name!r} cannot serve this scenario: feature "
+                f"meta-path {query.feature_path} is invalid for the fitted "
+                f"network's schema ({error})",
+                detector=self.name,
+                schema_detail=str(error),
+            ) from error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fitted" if self.network is not None else "unfitted"
+        return f"{type(self).__name__}(name={self.name!r}, {state})"
+
+
+def candidate_features(
+    network: HeterogeneousInformationNetwork, query: ZooQuery
+) -> np.ndarray:
+    """Dense candidate neighbor vectors ``φ_P`` (one row per candidate).
+
+    The shared feature extraction of the vector-space detectors: the feature
+    meta-path's count matrix is materialized once and the candidate rows are
+    gathered in ``candidate_indices`` order.
+    """
+    matrix = materialize(network, query.feature_path).tocsr()
+    rows = matrix[np.asarray(query.candidate_indices, dtype=np.int64), :]
+    return np.asarray(rows.todense(), dtype=np.float64)

@@ -1,0 +1,155 @@
+"""The detector registry: names, constructors, and contract metadata.
+
+One :class:`DetectorSpec` per zoo detector.  The spec carries the
+properties the contract test-suite needs to know *per detector*:
+
+* ``equivariant`` — whether the detector's scores are exactly permuted
+  when the network's vertices are relabeled (insertion order changes).
+  Vector-space and graph-walk detectors are; the NMF/k-means-based ones
+  (``cdoutlier``, ``nmf``) are **not**, because their seeded random
+  initialization depends on matrix row order, so the property suite skips
+  the permutation-equivariance law for them (determinism and the other
+  laws still apply).
+* ``needs_anchor`` — whether the detector requires a scenario anchor
+  vertex (only Personalized PageRank does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import MeasureError
+from repro.zoo.contract import Detector
+from repro.zoo.detectors import (
+    CDOutlierDetector,
+    KNNDetector,
+    LOFDetector,
+    NetOutDetector,
+    NMFResidualDetector,
+    PathSimDetector,
+    PPRDetector,
+    SimRankDetector,
+)
+
+__all__ = [
+    "DetectorSpec",
+    "available_detectors",
+    "get_detector_spec",
+    "make_detector",
+]
+
+
+@dataclass(frozen=True)
+class DetectorSpec:
+    """Registry entry for one zoo detector.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also ``Detector.name``).
+    factory:
+        Zero-argument constructor producing a fresh, unfitted detector.
+    summary:
+        One-line description for listings and reports.
+    equivariant:
+        True when scores are exactly permutation-equivariant under vertex
+        relabeling (see module docstring).
+    needs_anchor:
+        True when the detector requires ``ZooQuery.anchor``.
+    """
+
+    name: str
+    factory: Callable[[], Detector]
+    summary: str
+    equivariant: bool = True
+    needs_anchor: bool = False
+
+
+_REGISTRY: dict[str, DetectorSpec] = {}
+
+
+def _register(spec: DetectorSpec) -> None:
+    _REGISTRY[spec.name] = spec
+
+
+_register(
+    DetectorSpec(
+        name="netout",
+        factory=NetOutDetector,
+        summary="the paper's NetOut measure through the full query engine",
+    )
+)
+_register(
+    DetectorSpec(
+        name="lof",
+        factory=LOFDetector,
+        summary="Local Outlier Factor over meta-path neighbor vectors",
+    )
+)
+_register(
+    DetectorSpec(
+        name="knn",
+        factory=KNNDetector,
+        summary="k-NN distance outliers over meta-path neighbor vectors",
+    )
+)
+_register(
+    DetectorSpec(
+        name="pathsim",
+        factory=PathSimDetector,
+        summary="low mean PathSim to peer candidates",
+    )
+)
+_register(
+    DetectorSpec(
+        name="simrank",
+        factory=SimRankDetector,
+        summary="low mean SimRank to peer candidates",
+    )
+)
+_register(
+    DetectorSpec(
+        name="ppr",
+        factory=PPRDetector,
+        summary="low Personalized PageRank mass from the scenario anchor",
+        needs_anchor=True,
+    )
+)
+_register(
+    DetectorSpec(
+        name="cdoutlier",
+        factory=CDOutlierDetector,
+        summary="community-distribution outliers (NMF + k-means patterns)",
+        equivariant=False,
+    )
+)
+_register(
+    DetectorSpec(
+        name="nmf",
+        factory=NMFResidualDetector,
+        summary="NMF low-rank reconstruction residual",
+        equivariant=False,
+    )
+)
+
+
+def available_detectors() -> tuple[str, ...]:
+    """Registered detector names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_detector_spec(name: str) -> DetectorSpec:
+    """Look up a registry entry; raises ``MeasureError`` for unknown names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise MeasureError(
+            f"unknown detector {name!r}; available: "
+            f"{', '.join(available_detectors())}"
+        ) from None
+
+
+def make_detector(name: str) -> Detector:
+    """Construct a fresh, unfitted detector by registry name."""
+    return get_detector_spec(name).factory()

@@ -1,0 +1,281 @@
+"""The planted-outlier scenario grid the zoo evaluates against.
+
+Four archetypes, each driven by a :mod:`repro.datagen` generator that
+reports the exact set of vertices it perturbed — the labels are the
+planting, not a heuristic:
+
+* ``attribute-outlier`` — the paper's Table 3 setting: cross-field authors
+  in a hub's ego network whose venue *profiles* deviate while their degree
+  looks ordinary (:func:`repro.datagen.synthetic.hub_ego_corpus`).
+* ``structural-outlier`` — authors with anomalous *shape*: an order of
+  magnitude more (single-author, every-community) papers than anyone else
+  (:func:`repro.datagen.synthetic.structural_outlier_corpus`).
+* ``fraud-ring`` — colluding users whose logins concentrate on one shared
+  host set (:class:`repro.datagen.security.SecurityNetworkGenerator` with
+  ``num_fraud_users > 0``).
+* ``compromised-host`` — hosts with attack-category alert bursts on the
+  same security schema (``num_compromised > 0``).
+
+Every scenario builds deterministically from a seed, in a *full* size (the
+benchmark default) and a *quick* size (CI smoke / BENCH_SMOKE) — both small
+enough for the dense all-pairs baselines (SimRank) to stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.datagen.security import SecurityNetworkGenerator
+from repro.datagen.synthetic import (
+    EgoNetworkSpec,
+    GeneratorConfig,
+    hub_ego_corpus,
+    structural_outlier_corpus,
+)
+from repro.exceptions import MeasureError
+from repro.hin.network import HeterogeneousInformationNetwork, VertexId
+from repro.metapath.metapath import MetaPath
+
+__all__ = [
+    "ScenarioInstance",
+    "Scenario",
+    "available_scenarios",
+    "get_scenario",
+    "build_scenario",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioInstance:
+    """One concrete, built scenario: a network plus its labeled query.
+
+    Attributes
+    ----------
+    name, archetype:
+        Scenario identity (registry key and outlier archetype).
+    network:
+        The generated heterogeneous network.
+    candidates_expr:
+        Candidate set in the outlier query language.
+    feature_path:
+        Feature meta-path characterizing candidates.
+    outliers:
+        Ground-truth outlier names — exactly the vertices the generator
+        planted.
+    anchor:
+        Query vertex anchoring the scenario (PPR seed); ``None`` when the
+        scenario has no natural anchor.
+    seed:
+        The seed the instance was built from.
+    """
+
+    name: str
+    archetype: str
+    network: HeterogeneousInformationNetwork
+    candidates_expr: str
+    feature_path: MetaPath
+    outliers: tuple[str, ...]
+    anchor: VertexId | None
+    seed: int
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Registry entry: a named, seedable scenario builder."""
+
+    name: str
+    archetype: str
+    summary: str
+    builder: Callable[[int, bool], ScenarioInstance]
+
+    def build(self, seed: int = 0, *, quick: bool = False) -> ScenarioInstance:
+        """Build the scenario deterministically from ``seed``."""
+        return self.builder(seed, quick)
+
+
+def _clean_bibliographic_config(*, quick: bool) -> GeneratorConfig:
+    """A small bibliographic corpus with missing-data noise disabled.
+
+    Missing-data markers would add ``NULL`` authors to candidate sets and
+    pollute the planted ground truth, so scenario corpora turn them off.
+    """
+    if quick:
+        return GeneratorConfig(
+            num_communities=2,
+            authors_per_community=18,
+            venues_per_community=3,
+            terms_per_community=12,
+            common_terms=6,
+            papers_per_community=50,
+            missing_venue_prob=0.0,
+            missing_author_prob=0.0,
+        )
+    return GeneratorConfig(
+        num_communities=3,
+        authors_per_community=40,
+        venues_per_community=4,
+        terms_per_community=20,
+        common_terms=10,
+        papers_per_community=130,
+        missing_venue_prob=0.0,
+        missing_author_prob=0.0,
+    )
+
+
+def _build_attribute_outlier(seed: int, quick: bool) -> ScenarioInstance:
+    config = _clean_bibliographic_config(quick=quick)
+    spec = EgoNetworkSpec(
+        hub_papers=12 if quick else 30,
+        cross_field_count=2 if quick else 4,
+        cross_field_papers=(20, 40) if quick else (40, 80),
+        student_count=2 if quick else 4,
+        seed=seed,
+    )
+    corpus = hub_ego_corpus(config, spec)
+    network = corpus.network
+    return ScenarioInstance(
+        name="attribute-outlier",
+        archetype="attribute",
+        network=network,
+        candidates_expr=f'author{{"{corpus.hub}"}}.paper.author',
+        feature_path=MetaPath.parse("author.paper.venue"),
+        outliers=tuple(corpus.cross_field),
+        anchor=network.find_vertex("author", corpus.hub),
+        seed=seed,
+    )
+
+
+def _build_structural_outlier(seed: int, quick: bool) -> ScenarioInstance:
+    config = _clean_bibliographic_config(quick=quick)
+    corpus = structural_outlier_corpus(
+        config,
+        num_outliers=2 if quick else 3,
+        papers_per_outlier=15 if quick else 40,
+        seed=seed,
+    )
+    network = corpus.network
+    anchor_name = "C0-Author-0000"
+    return ScenarioInstance(
+        name="structural-outlier",
+        archetype="structural",
+        network=network,
+        candidates_expr="author",
+        feature_path=MetaPath.parse("author.paper.venue"),
+        outliers=tuple(corpus.outlier_authors),
+        anchor=network.find_vertex("author", anchor_name),
+        seed=seed,
+    )
+
+
+def _build_fraud_ring(seed: int, quick: bool) -> ScenarioInstance:
+    generator = SecurityNetworkGenerator(
+        num_users=14 if quick else 40,
+        num_hosts=18 if quick else 50,
+        logins_per_user=12 if quick else 24,
+        alerts_per_host=3 if quick else 8,
+        num_compromised=0,
+        num_fraud_users=3 if quick else 5,
+        ring_size=3,
+        seed=seed,
+    )
+    corpus = generator.generate()
+    network = corpus.network
+    return ScenarioInstance(
+        name="fraud-ring",
+        archetype="fraud-ring",
+        network=network,
+        candidates_expr="user",
+        feature_path=MetaPath.parse("user.host"),
+        outliers=tuple(corpus.fraud_users),
+        anchor=network.find_vertex("user", corpus.analyst_users[0]),
+        seed=seed,
+    )
+
+
+def _build_compromised_host(seed: int, quick: bool) -> ScenarioInstance:
+    generator = SecurityNetworkGenerator(
+        num_users=14 if quick else 40,
+        num_hosts=18 if quick else 50,
+        logins_per_user=12 if quick else 24,
+        alerts_per_host=4 if quick else 8,
+        num_compromised=2 if quick else 3,
+        num_fraud_users=0,
+        seed=seed,
+    )
+    corpus = generator.generate()
+    network = corpus.network
+    return ScenarioInstance(
+        name="compromised-host",
+        archetype="compromised-host",
+        network=network,
+        candidates_expr="host",
+        feature_path=MetaPath.parse("host.alert.category"),
+        outliers=tuple(corpus.compromised_hosts),
+        anchor=network.find_vertex("user", corpus.analyst_users[0]),
+        seed=seed,
+    )
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def _register(scenario: Scenario) -> None:
+    _REGISTRY[scenario.name] = scenario
+
+
+_register(
+    Scenario(
+        name="attribute-outlier",
+        archetype="attribute",
+        summary="cross-field authors in a hub ego network (Table 3 setting)",
+        builder=_build_attribute_outlier,
+    )
+)
+_register(
+    Scenario(
+        name="structural-outlier",
+        archetype="structural",
+        summary="hyper-productive single-author accounts spanning every community",
+        builder=_build_structural_outlier,
+    )
+)
+_register(
+    Scenario(
+        name="fraud-ring",
+        archetype="fraud-ring",
+        summary="colluding users concentrated on one shared host set",
+        builder=_build_fraud_ring,
+    )
+)
+_register(
+    Scenario(
+        name="compromised-host",
+        archetype="compromised-host",
+        summary="hosts with attack-category alert bursts",
+        builder=_build_compromised_host,
+    )
+)
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Registered scenario names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario; raises ``MeasureError`` for unknown names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise MeasureError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(available_scenarios())}"
+        ) from None
+
+
+def build_scenario(
+    name: str, seed: int = 0, *, quick: bool = False
+) -> ScenarioInstance:
+    """Build a registered scenario deterministically from ``seed``."""
+    return get_scenario(name).build(seed, quick=quick)

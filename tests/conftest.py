@@ -1,12 +1,39 @@
-"""Shared fixtures: paper toy networks and session-scoped synthetic corpora."""
+"""Shared fixtures: paper toy networks, synthetic corpora, hypothesis profiles.
+
+The hypothesis settings profiles registered here apply to every property
+suite (``tests/properties/``, ``tests/zoo/``):
+
+* ``repro`` (default) — ``deadline=None`` (network builds and dense
+  baselines legitimately take longer than hypothesis's 200 ms default on a
+  loaded machine; wall-clock deadlines only make the suites flaky) and a
+  moderate ``max_examples`` budget.
+* ``repro-ci`` (loaded when ``CI`` is set) — same, plus ``derandomize``
+  so CI failures always reproduce.
+
+Individual ``@settings(...)`` decorators still override per-test knobs;
+the profile supplies the shared defaults underneath.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.datagen import hub_ego_corpus
 from repro.datagen.fixtures import figure1_network, figure2_network, table1_network
 from repro.datagen.synthetic import BibliographicNetworkGenerator, GeneratorConfig
+
+_SHARED = dict(
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=(HealthCheck.too_slow,),
+    print_blob=True,
+)
+settings.register_profile("repro", **_SHARED)
+settings.register_profile("repro-ci", derandomize=True, **_SHARED)
+settings.load_profile("repro-ci" if os.environ.get("CI") else "repro")
 
 
 @pytest.fixture()

@@ -8,6 +8,7 @@ from repro.datagen.synthetic import (
     EgoNetworkSpec,
     GeneratorConfig,
     hub_ego_corpus,
+    structural_outlier_corpus,
 )
 
 
@@ -158,3 +159,85 @@ class TestHubEgoCorpus:
     def test_requires_two_communities(self):
         with pytest.raises(ValueError, match="two communities"):
             hub_ego_corpus(config=GeneratorConfig(num_communities=1))
+
+
+class TestStructuralOutlierCorpus:
+    CONFIG = GeneratorConfig(
+        num_communities=3,
+        authors_per_community=20,
+        venues_per_community=3,
+        terms_per_community=10,
+        common_terms=5,
+        papers_per_community=60,
+        missing_venue_prob=0.0,
+        missing_author_prob=0.0,
+    )
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return structural_outlier_corpus(
+            self.CONFIG, num_outliers=2, papers_per_outlier=25, seed=0
+        )
+
+    def test_labels_match_planted_authors(self, corpus):
+        """The label set is exactly the authors of the planted (S-keyed)
+        records — the generator reports precisely what it perturbed."""
+        network = corpus.network
+        assert corpus.outlier_authors == ["Structural-1", "Structural-2"]
+        authors_of_planted_records = {
+            author
+            for publication in corpus.publications
+            if publication.key.startswith("S")
+            for author in publication.authors
+        }
+        assert authors_of_planted_records == set(corpus.outlier_authors)
+        # Planted accounts publish nothing outside the planted records:
+        # their degree is exactly the planting size.
+        for name in corpus.outlier_authors:
+            author = network.find_vertex("author", name)
+            assert network.degree(author, "paper") == 25.0
+
+    def test_planted_papers_are_single_author(self, corpus):
+        planted = set(corpus.outlier_authors)
+        for publication in corpus.publications:
+            if set(publication.authors) & planted:
+                assert len(publication.authors) == 1
+
+    def test_planted_authors_span_every_community(self, corpus):
+        """The venue spread is the structural anomaly: each planted author
+        publishes in all communities' venues."""
+        from repro.metapath.counting import neighbor_counts
+        from repro.metapath.metapath import MetaPath
+
+        network = corpus.network
+        path = MetaPath.parse("author.paper.venue")
+        venue_names = network.vertex_names("venue")
+        for name in corpus.outlier_authors:
+            author = network.find_vertex("author", name)
+            counts = neighbor_counts(network, path, author)
+            communities = {venue_names[i].split("-")[0] for i in counts}
+            assert communities == {"C0", "C1", "C2"}
+
+    @pytest.mark.parametrize("seed", [0, 11])
+    @pytest.mark.parametrize("num_outliers", [1, 3])
+    def test_sizes_and_seeds(self, seed, num_outliers):
+        corpus = structural_outlier_corpus(
+            self.CONFIG,
+            num_outliers=num_outliers,
+            papers_per_outlier=12,
+            seed=seed,
+        )
+        assert len(corpus.outlier_authors) == num_outliers
+        for name in corpus.outlier_authors:
+            assert corpus.network.has_vertex("author", name)
+
+    def test_deterministic(self):
+        first = structural_outlier_corpus(self.CONFIG, seed=5)
+        second = structural_outlier_corpus(self.CONFIG, seed=5)
+        assert first.publications == second.publications
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            structural_outlier_corpus(self.CONFIG, num_outliers=0)
+        with pytest.raises(ValueError):
+            structural_outlier_corpus(self.CONFIG, papers_per_outlier=0)

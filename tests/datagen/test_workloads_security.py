@@ -104,3 +104,110 @@ class TestSecurityNetwork:
             SecurityNetworkGenerator(num_hosts=1)
         with pytest.raises(ValueError):
             SecurityNetworkGenerator(num_compromised=999)
+        with pytest.raises(ValueError):
+            SecurityNetworkGenerator(num_fraud_users=-1)
+        with pytest.raises(ValueError):
+            SecurityNetworkGenerator(num_fraud_users=2, ring_size=999)
+
+    def test_no_ring_by_default(self, corpus):
+        assert corpus.fraud_users == []
+        assert corpus.ring_hosts == []
+        assert not any(
+            name.startswith("fraud-user")
+            for name in corpus.network.vertex_names("user")
+        )
+
+    def test_ring_does_not_perturb_base_generation(self, corpus):
+        """Planting a ring appends vertices/edges without reshuffling the
+        shared RNG stream: the base population is byte-identical."""
+        with_ring = SecurityNetworkGenerator(seed=0, num_fraud_users=3).generate()
+        assert with_ring.compromised_hosts == corpus.compromised_hosts
+        base_users = corpus.network.vertex_names("user")
+        assert with_ring.network.vertex_names("user")[: len(base_users)] == base_users
+
+
+class TestPlantedGroundTruth:
+    """The labels a generator reports are exactly the vertices it perturbed,
+    across sizes and seeds — the property every zoo scenario leans on."""
+
+    SIZES = [
+        dict(num_users=10, num_hosts=12, logins_per_user=6, alerts_per_host=3),
+        dict(num_users=30, num_hosts=40, logins_per_user=15, alerts_per_host=8),
+    ]
+
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_compromised_labels_match_perturbed_hosts(self, size, seed):
+        """A host has attack-category alerts iff it is labeled compromised."""
+        from repro.metapath.counting import neighbor_counts
+        from repro.metapath.metapath import MetaPath
+
+        corpus = SecurityNetworkGenerator(
+            num_compromised=2, seed=seed, **size
+        ).generate()
+        network = corpus.network
+        path = MetaPath.parse("host.alert.category")
+        category_names = network.vertex_names("category")
+        attack = {
+            "lateral-movement",
+            "data-exfiltration",
+            "privilege-escalation",
+            "c2-beacon",
+        }
+        hosts_with_attack_alerts = set()
+        for host_name in network.vertex_names("host"):
+            host = network.find_vertex("host", host_name)
+            counts = neighbor_counts(network, path, host)
+            if {category_names[i] for i in counts} & attack:
+                hosts_with_attack_alerts.add(host_name)
+        assert hosts_with_attack_alerts == set(corpus.compromised_hosts)
+        assert len(corpus.compromised_hosts) == 2
+
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_fraud_labels_match_ring_confinement(self, size, seed):
+        """A user logs in *only* on ring hosts iff it is a labeled fraud
+        user (normal users roam: 10% of their logins leave their pool)."""
+        from repro.metapath.counting import neighbor_counts
+        from repro.metapath.metapath import MetaPath
+
+        corpus = SecurityNetworkGenerator(
+            num_compromised=0, num_fraud_users=3, ring_size=3, seed=seed, **size
+        ).generate()
+        network = corpus.network
+        ring = set(corpus.ring_hosts)
+        assert len(ring) == 3
+        path = MetaPath.parse("user.host")
+        host_names = network.vertex_names("host")
+        confined = set()
+        for user_name in network.vertex_names("user"):
+            user = network.find_vertex("user", user_name)
+            counts = neighbor_counts(network, path, user)
+            touched = {host_names[i] for i in counts}
+            if touched and touched <= ring:
+                confined.add(user_name)
+        assert confined == set(corpus.fraud_users)
+        assert len(corpus.fraud_users) == 3
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_both_archetypes_coexist_with_disjoint_labels(self, seed):
+        corpus = SecurityNetworkGenerator(
+            num_users=20,
+            num_hosts=25,
+            logins_per_user=10,
+            alerts_per_host=4,
+            num_compromised=2,
+            num_fraud_users=3,
+            seed=seed,
+        ).generate()
+        assert len(corpus.compromised_hosts) == 2
+        assert len(corpus.fraud_users) == 3
+        # The ring avoids compromised hosts, keeping labels independent.
+        assert not set(corpus.ring_hosts) & set(corpus.compromised_hosts)
+
+    def test_fraud_ring_deterministic(self):
+        first = SecurityNetworkGenerator(seed=9, num_fraud_users=4).generate()
+        second = SecurityNetworkGenerator(seed=9, num_fraud_users=4).generate()
+        assert first.fraud_users == second.fraud_users
+        assert first.ring_hosts == second.ring_hosts
+        assert first.network.num_edges() == second.network.num_edges()

@@ -232,3 +232,90 @@ class TestServe:
         assert not thread.is_alive()
         assert outcome["code"] == 0
         assert "served 3 requests; shut down cleanly" in out.getvalue()
+
+
+class TestZoo:
+    def test_quick_grid_with_report(self, tmp_path):
+        import json
+
+        report_path = tmp_path / "zoo.json"
+        code, output = run(
+            [
+                "zoo",
+                "--quick",
+                "--scenario",
+                "fraud-ring",
+                "--detector",
+                "ppr",
+                "--detector",
+                "knn",
+                "--out",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        assert "fraud-ring" in output
+        assert "ppr" in output and "knn" in output
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["detectors"] == ["ppr", "knn"]
+        assert len(report["results"]) == 2
+
+    def test_seeds_and_k_knobs(self):
+        code, output = run(
+            [
+                "zoo",
+                "--quick",
+                "--scenario",
+                "compromised-host",
+                "--detector",
+                "knn",
+                "--seeds",
+                "0,1",
+                "--k",
+                "2",
+            ]
+        )
+        assert code == 0
+        # One row per seed.
+        assert output.count("compromised-host") == 2
+
+    def test_list_scenarios_and_detectors(self):
+        code, output = run(["zoo", "--scenario", "list"])
+        assert code == 0
+        assert "attribute-outlier" in output
+        code, output = run(["zoo", "--detector", "list"])
+        assert code == 0
+        assert "netout" in output
+
+    def test_unknown_names_fail_cleanly(self):
+        code, output = run(["zoo", "--quick", "--scenario", "nope"])
+        assert code == 1
+        assert "unknown scenario" in output
+        code, output = run(["zoo", "--quick", "--detector", "nope"])
+        assert code == 1
+        assert "unknown detector" in output
+
+    def test_bad_seeds_fail_cleanly(self):
+        code, output = run(["zoo", "--quick", "--seeds", "one,two"])
+        assert code == 1
+        assert "comma-separated integers" in output
+
+    def test_smoke_env_forces_quick(self, monkeypatch, tmp_path):
+        import json
+
+        report_path = tmp_path / "zoo_smoke.json"
+        monkeypatch.setenv("BENCH_SMOKE", "1")
+        code, output = run(
+            [
+                "zoo",
+                "--scenario",
+                "fraud-ring",
+                "--detector",
+                "knn",
+                "--out",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["quick"] is True

@@ -9,6 +9,7 @@ from repro.evalmetrics import (
     rank_of,
     recall_at_k,
     reciprocal_rank,
+    roc_auc,
 )
 from repro.exceptions import MeasureError
 from repro.hin.stats import network_summary
@@ -57,6 +58,83 @@ class TestAveragePrecision:
 
     def test_empty_relevant(self):
         assert average_precision(RANKED, set()) == 0.0
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([1, 1, 0, 0], [0.9, 0.8, 0.2, 0.1]) == 1.0
+
+    def test_perfectly_inverted(self):
+        assert roc_auc([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == 0.0
+
+    def test_hand_computed_example(self):
+        # Pairs (positive, negative): scores pos={0.8, 0.4}, neg={0.6, 0.2}.
+        # Of the 4 pairs, pos wins 3 (0.8>0.6, 0.8>0.2, 0.4>0.2), loses 1
+        # (0.4<0.6): AUC = 3/4.
+        assert roc_auc([1, 0, 1, 0], [0.8, 0.6, 0.4, 0.2]) == pytest.approx(
+            0.75
+        )
+
+    def test_ties_count_half(self):
+        # One positive and one negative tied at 0.5: the single pair
+        # contributes 1/2 under tie-averaged ranking.
+        assert roc_auc([1, 0], [0.5, 0.5]) == pytest.approx(0.5)
+        # Tie block among four items, one clean win above it:
+        # pos at 0.9 beats both negatives; pos at 0.5 ties both → 2*(1/2).
+        # AUC = (2 + 1) / 4.
+        assert roc_auc(
+            [1, 1, 0, 0], [0.9, 0.5, 0.5, 0.5]
+        ) == pytest.approx(0.75)
+
+    def test_all_tied_is_chance(self):
+        assert roc_auc([1, 0, 1, 0], [3.0, 3.0, 3.0, 3.0]) == pytest.approx(
+            0.5
+        )
+
+    def test_labels_accept_any_truthiness(self):
+        # Bools, ints, and names all coerce to binary labels.
+        assert roc_auc([True, False], [1.0, 0.0]) == 1.0
+        assert roc_auc(["outlier", ""], [1.0, 0.0]) == 1.0
+
+    def test_degenerate_labels_rejected(self):
+        with pytest.raises(MeasureError, match="both classes"):
+            roc_auc([1, 1, 1], [0.1, 0.2, 0.3])
+        with pytest.raises(MeasureError, match="both classes"):
+            roc_auc([0, 0, 0], [0.1, 0.2, 0.3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MeasureError, match="equal-length"):
+            roc_auc([1, 0], [0.1, 0.2, 0.3])
+
+    def test_non_finite_scores_rejected(self):
+        with pytest.raises(MeasureError, match="finite"):
+            roc_auc([1, 0], [np.nan, 0.2])
+        with pytest.raises(MeasureError, match="finite"):
+            roc_auc([1, 0], [np.inf, 0.2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeasureError):
+            roc_auc([], [])
+
+    def test_rank_identity_against_pair_counting(self):
+        """The Mann-Whitney formula equals brute-force pair counting."""
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n = int(rng.integers(4, 30))
+            labels = rng.integers(0, 2, size=n)
+            if labels.min() == labels.max():
+                labels[0] = 1 - labels[0]
+            # Coarse grid to force plenty of ties.
+            scores = rng.integers(0, 5, size=n).astype(float)
+            positives = scores[labels == 1]
+            negatives = scores[labels == 0]
+            wins = sum(
+                1.0 if p > q else 0.5 if p == q else 0.0
+                for p in positives
+                for q in negatives
+            )
+            expected = wins / (len(positives) * len(negatives))
+            assert roc_auc(labels, scores) == pytest.approx(expected)
 
 
 class TestReciprocalRankAndRankOf:

@@ -30,6 +30,7 @@ from repro.exceptions import (
     ServiceError,
     ServiceOverloadedError,
     TransientFaultError,
+    UnsupportedSchemaError,
     VertexNotFoundError,
     WorkerCrashedError,
 )
@@ -193,6 +194,28 @@ def raise_no_replicas_available():
     )
 
 
+def raise_unsupported_schema():
+    # Through the zoo contract boundary: a detector fitted on the security
+    # network is asked to score a bibliographic scenario, whose feature
+    # meta-path the security schema cannot validate.
+    from repro.datagen.security import SecurityNetworkGenerator
+    from repro.metapath.metapath import MetaPath
+    from repro.zoo import ZooQuery, make_detector
+
+    network = SecurityNetworkGenerator(
+        num_users=3, num_hosts=4, logins_per_user=2, alerts_per_host=1, seed=0
+    ).generate().network
+    detector = make_detector("lof").fit(network)
+    query = ZooQuery(
+        member_type="author",
+        candidate_indices=(0,),
+        candidate_names=("Ann",),
+        feature_path=MetaPath.parse("author.paper.venue"),
+        candidates_expr="author",
+    )
+    detector.decision_scores(query)
+
+
 RAISERS = {
     SchemaError: raise_schema_error,
     NetworkError: raise_network_error,
@@ -202,6 +225,7 @@ RAISERS = {
     QuerySemanticError: raise_query_semantic_error,
     ExecutionError: raise_execution_error,
     MeasureError: raise_measure_error,
+    UnsupportedSchemaError: raise_unsupported_schema,
     DeadlineExceededError: raise_deadline_exceeded,
     ResourceLimitError: raise_resource_limit,
     CircuitOpenError: raise_circuit_open,
@@ -311,6 +335,15 @@ class TestErrorPayloads:
             raise_resource_limit()
         assert excinfo.value.estimated_bytes == 10**9
         assert excinfo.value.limit_bytes == 1
+
+    def test_unsupported_schema_error_carries_context(self):
+        """The zoo's schema rejection names the detector and the mismatch,
+        and stays catchable as ``MeasureError`` (scoring-layer failures)."""
+        with pytest.raises(UnsupportedSchemaError) as excinfo:
+            raise_unsupported_schema()
+        assert excinfo.value.detector == "lof"
+        assert excinfo.value.schema_detail
+        assert isinstance(excinfo.value, MeasureError)
 
 
 class TestVertexNotFoundDuality:

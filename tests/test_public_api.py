@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.kg",
     "repro.service",
     "repro.utils",
+    "repro.zoo",
 ]
 
 

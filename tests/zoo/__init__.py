@@ -1,0 +1,1 @@
+"""Detector-zoo tests: contract laws, scenarios, harness, golden report."""

@@ -1,0 +1,44 @@
+"""Shared zoo fixtures: one built quick scenario per archetype, per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.evaluator import SetEvaluator
+from repro.engine.strategies import make_strategy
+from repro.query.parser import parse_set_expression
+from repro.zoo import ZooQuery, available_scenarios, build_scenario
+
+
+def query_for(instance, seed: int = 0) -> ZooQuery:
+    """Evaluate a scenario instance's candidate set into a ``ZooQuery``.
+
+    The same evaluation path the harness uses (the declarative set
+    language through the baseline strategy), factored out so contract and
+    property tests can build queries without running the whole grid.
+    """
+    evaluator = SetEvaluator(make_strategy(instance.network, "baseline"))
+    member_type, indices = evaluator.evaluate(
+        parse_set_expression(instance.candidates_expr)
+    )
+    names = instance.network.vertex_names(member_type)
+    return ZooQuery(
+        member_type=member_type,
+        candidate_indices=tuple(indices),
+        candidate_names=tuple(names[index] for index in indices),
+        feature_path=instance.feature_path,
+        candidates_expr=instance.candidates_expr,
+        anchor=instance.anchor,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session", params=available_scenarios())
+def scenario_instance(request):
+    """Each registered scenario, built at quick size with seed 0."""
+    return build_scenario(request.param, 0, quick=True)
+
+
+@pytest.fixture(scope="session")
+def attribute_instance():
+    return build_scenario("attribute-outlier", 0, quick=True)

@@ -1,0 +1,135 @@
+"""Cross-detector contract tests, parametrized over every registry entry.
+
+Every registered detector must honor the same laws on every scenario:
+aligned float64 score vectors, finiteness, seeded determinism, lifecycle
+errors before ``fit``, and the typed ``UnsupportedSchemaError`` when the
+fitted network's schema cannot serve the query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.security import SecurityNetworkGenerator
+from repro.exceptions import (
+    ExecutionError,
+    MeasureError,
+    UnsupportedSchemaError,
+)
+from repro.metapath.metapath import MetaPath
+from repro.zoo import (
+    ZooQuery,
+    available_detectors,
+    get_detector_spec,
+    make_detector,
+)
+
+from tests.zoo.conftest import query_for
+
+pytestmark = pytest.mark.parametrize(
+    "detector_name", available_detectors()
+)
+
+
+class TestScoreVector:
+    def test_aligned_finite_float64(self, detector_name, scenario_instance):
+        detector = make_detector(detector_name).fit(scenario_instance.network)
+        query = query_for(scenario_instance)
+        scores = detector.decision_scores(query)
+        assert isinstance(scores, np.ndarray)
+        assert scores.dtype == np.float64
+        assert scores.shape == (len(query.candidate_indices),)
+        assert np.isfinite(scores).all()
+
+    def test_deterministic_under_fixed_seed(
+        self, detector_name, scenario_instance
+    ):
+        """Same network, same query, same seed: bit-identical scores —
+        across repeated calls on one instance and across fresh instances."""
+        query = query_for(scenario_instance, seed=3)
+        detector = make_detector(detector_name).fit(scenario_instance.network)
+        first = detector.decision_scores(query)
+        second = detector.decision_scores(query)
+        fresh = (
+            make_detector(detector_name)
+            .fit(scenario_instance.network)
+            .decision_scores(query)
+        )
+        np.testing.assert_array_equal(first, second)
+        np.testing.assert_array_equal(first, fresh)
+
+
+class TestLifecycle:
+    def test_unfitted_detector_raises(self, detector_name, attribute_instance):
+        detector = make_detector(detector_name)
+        with pytest.raises(ExecutionError, match="must be fit"):
+            detector.decision_scores(query_for(attribute_instance))
+
+    def test_fit_returns_self(self, detector_name, attribute_instance):
+        detector = make_detector(detector_name)
+        assert detector.fit(attribute_instance.network) is detector
+
+    def test_fit_rejects_missing_network(self, detector_name):
+        with pytest.raises(MeasureError):
+            make_detector(detector_name).fit(None)
+
+
+class TestSchemaRejection:
+    @pytest.fixture(scope="class")
+    def security_network(self):
+        return (
+            SecurityNetworkGenerator(
+                num_users=4,
+                num_hosts=5,
+                logins_per_user=3,
+                alerts_per_host=2,
+                num_compromised=0,
+                seed=0,
+            )
+            .generate()
+            .network
+        )
+
+    def test_unknown_member_type(self, detector_name, security_network):
+        """A query for a vertex type the fitted network lacks fails with
+        the typed error, naming the detector, before any scoring runs."""
+        detector = make_detector(detector_name).fit(security_network)
+        query = ZooQuery(
+            member_type="author",
+            candidate_indices=(0, 1),
+            candidate_names=("A", "B"),
+            feature_path=MetaPath.parse("author.paper.venue"),
+            candidates_expr="author",
+        )
+        with pytest.raises(UnsupportedSchemaError) as excinfo:
+            detector.decision_scores(query)
+        assert excinfo.value.detector == detector_name
+        assert isinstance(excinfo.value, MeasureError)
+
+    def test_invalid_feature_path(self, detector_name, security_network):
+        """A feature meta-path with no schema edge (user.category) is
+        rejected with the meta-path detail attached."""
+        detector = make_detector(detector_name).fit(security_network)
+        query = ZooQuery(
+            member_type="user",
+            candidate_indices=(0, 1),
+            candidate_names=("analyst-0", "analyst-1"),
+            feature_path=MetaPath.parse("user.category"),
+            candidates_expr="user",
+        )
+        with pytest.raises(UnsupportedSchemaError) as excinfo:
+            detector.decision_scores(query)
+        assert excinfo.value.schema_detail
+
+
+class TestRegistry:
+    def test_spec_consistency(self, detector_name):
+        spec = get_detector_spec(detector_name)
+        assert spec.name == detector_name
+        assert spec.factory().name == detector_name
+        assert spec.summary
+
+    def test_unknown_name_rejected(self, detector_name):
+        with pytest.raises(MeasureError, match="unknown detector"):
+            make_detector(detector_name + "-nope")

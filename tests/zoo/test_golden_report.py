@@ -1,0 +1,72 @@
+"""Golden-fixture regression: the quick grid is pinned, score for score.
+
+The committed fixture at ``tests/zoo/golden/zoo_quick.json`` is the
+deterministic projection (timings stripped) of the quick evaluation grid —
+every registered detector over every scenario at seed 0.  Any behavioral
+change to a detector, a scenario generator, the candidate evaluation, or
+the metric layer shows up here as an exact-value diff.
+
+Scores are rounded to 9 significant digits inside the harness before
+ranking and metrics, which is what makes *exact* comparison safe across
+platforms.  When a change is intentional, re-pin with::
+
+    PYTHONPATH=src python scripts/zoo_smoke.py --update
+
+and commit the updated fixture alongside the change that moved it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.zoo import (
+    ZooRunConfig,
+    available_detectors,
+    available_scenarios,
+    run_zoo,
+    strip_timings,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "zoo_quick.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def current():
+    report = run_zoo(ZooRunConfig(seeds=(0,), k=5, quick=True))
+    # Round-trip through JSON so tuples/lists and float formatting compare
+    # apples to apples with the loaded fixture.
+    return json.loads(json.dumps(strip_timings(report)))
+
+
+def test_fixture_covers_the_full_registry(golden):
+    """The committed fixture spans every detector and scenario — a new
+    registration without a re-pin fails here, not silently."""
+    assert golden["detectors"] == list(available_detectors())
+    assert sorted(golden["scenarios"]) == sorted(available_scenarios())
+    assert len(golden["results"]) == len(golden["detectors"]) * len(
+        golden["scenarios"]
+    )
+
+
+def test_quick_grid_matches_golden_exactly(golden, current):
+    assert current == golden
+
+
+def test_fixture_metrics_are_sane(golden):
+    """Defense in depth for the committed artifact itself: a hand-edited
+    or truncated fixture fails before it can mask a real regression."""
+    for entry in golden["results"]:
+        metrics = entry["metrics"]
+        assert 0.0 <= metrics["roc_auc"] <= 1.0
+        assert 0.0 <= metrics["precision_at_k"] <= 1.0
+        assert 0.0 <= metrics["average_precision"] <= 1.0
+        assert entry["top"]
+        assert "fit_seconds" not in entry

@@ -1,0 +1,124 @@
+"""Harness tests: report structure, determinism, config validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import MeasureError
+from repro.zoo import (
+    REPORT_SCHEMA_VERSION,
+    ZooRunConfig,
+    render_summary,
+    run_zoo,
+    strip_timings,
+)
+
+METRIC_KEYS = {"roc_auc", "precision_at_k", "average_precision"}
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    """A 2-detector x 2-scenario x 2-seed quick run shared by the module."""
+    return run_zoo(
+        ZooRunConfig(
+            scenarios=("attribute-outlier", "fraud-ring"),
+            detectors=("lof", "ppr"),
+            seeds=(0, 1),
+            k=3,
+            quick=True,
+        )
+    )
+
+
+class TestReportStructure:
+    def test_grid_is_complete(self, small_report):
+        assert len(small_report["results"]) == 2 * 2 * 2
+        cells = {
+            (entry["detector"], entry["scenario"], entry["seed"])
+            for entry in small_report["results"]
+        }
+        assert len(cells) == 8
+
+    def test_header_fields(self, small_report):
+        assert small_report["schema_version"] == REPORT_SCHEMA_VERSION
+        assert small_report["quick"] is True
+        assert small_report["k"] == 3
+        assert small_report["seeds"] == [0, 1]
+        assert small_report["detectors"] == ["lof", "ppr"]
+
+    def test_scenario_metadata(self, small_report):
+        for name, meta in small_report["scenarios"].items():
+            assert meta["num_outliers"] == len(meta["outliers"])
+            assert meta["num_candidates"] > meta["num_outliers"]
+            assert meta["vertices"] > 0
+            assert meta["edges"] > 0
+            assert meta["feature_path"].startswith(meta["member_type"])
+
+    def test_metrics_and_timings(self, small_report):
+        for entry in small_report["results"]:
+            assert set(entry["metrics"]) == METRIC_KEYS
+            assert 0.0 <= entry["metrics"]["roc_auc"] <= 1.0
+            assert 0.0 <= entry["metrics"]["precision_at_k"] <= 1.0
+            assert 0.0 <= entry["metrics"]["average_precision"] <= 1.0
+            assert len(entry["top"]) == 3
+            assert entry["fit_seconds"] >= 0.0
+            assert entry["score_seconds"] >= 0.0
+
+    def test_json_serializable(self, small_report):
+        json.dumps(small_report)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_scores(self, small_report):
+        again = run_zoo(
+            ZooRunConfig(
+                scenarios=("attribute-outlier", "fraud-ring"),
+                detectors=("lof", "ppr"),
+                seeds=(0, 1),
+                k=3,
+                quick=True,
+            )
+        )
+        assert strip_timings(small_report) == strip_timings(again)
+
+    def test_strip_timings_removes_only_timings(self, small_report):
+        stripped = strip_timings(small_report)
+        for entry in stripped["results"]:
+            assert "fit_seconds" not in entry
+            assert "score_seconds" not in entry
+            assert set(entry["metrics"]) == METRIC_KEYS
+        # The original report is untouched (strip is a copy).
+        assert "fit_seconds" in small_report["results"][0]
+
+
+class TestConfigValidation:
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            ZooRunConfig(seeds=())
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError):
+            ZooRunConfig(k=0)
+
+    def test_unknown_scenario_fails_cleanly(self):
+        with pytest.raises(MeasureError, match="unknown scenario"):
+            run_zoo(ZooRunConfig(scenarios=("nope",), detectors=("lof",)))
+
+    def test_unknown_detector_fails_cleanly(self):
+        with pytest.raises(MeasureError, match="unknown detector"):
+            run_zoo(
+                ZooRunConfig(
+                    scenarios=("fraud-ring",), detectors=("nope",), quick=True
+                )
+            )
+
+
+class TestSummary:
+    def test_renders_every_cell(self, small_report):
+        text = render_summary(small_report)
+        lines = text.splitlines()
+        assert len(lines) == 1 + len(small_report["results"])
+        assert "auc" in lines[0]
+        assert any("fraud-ring" in line and "ppr" in line for line in lines)

@@ -1,0 +1,74 @@
+"""Scenario-grid tests: registry coverage, ground truth, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MeasureError
+from repro.zoo import available_scenarios, build_scenario, get_scenario
+
+from tests.zoo.conftest import query_for
+
+
+class TestRegistry:
+    def test_at_least_four_archetypes(self):
+        names = available_scenarios()
+        archetypes = {get_scenario(name).archetype for name in names}
+        assert len(names) >= 4
+        assert {
+            "attribute",
+            "structural",
+            "fraud-ring",
+            "compromised-host",
+        } <= archetypes
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(MeasureError, match="unknown scenario"):
+            build_scenario("no-such-scenario")
+
+
+class TestInstances:
+    def test_outliers_are_candidates(self, scenario_instance):
+        """Every planted outlier must appear in the evaluated candidate
+        set — otherwise the labels could never be recovered."""
+        query = query_for(scenario_instance)
+        assert scenario_instance.outliers
+        assert set(scenario_instance.outliers) <= set(query.candidate_names)
+
+    def test_outliers_are_a_minority(self, scenario_instance):
+        query = query_for(scenario_instance)
+        assert len(scenario_instance.outliers) < len(query.candidate_names) / 2
+
+    def test_anchor_exists_in_network(self, scenario_instance):
+        anchor = scenario_instance.anchor
+        assert anchor is not None
+        names = scenario_instance.network.vertex_names(anchor.type)
+        assert 0 <= anchor.index < len(names)
+
+    def test_feature_path_validates(self, scenario_instance):
+        scenario_instance.feature_path.validate(
+            scenario_instance.network.schema
+        )
+
+    @pytest.mark.parametrize("quick", [True, False])
+    def test_same_seed_same_instance(self, scenario_instance, quick):
+        """Rebuilding from the same seed reproduces the network and labels."""
+        name = scenario_instance.name
+        first = build_scenario(name, 7, quick=quick)
+        second = build_scenario(name, 7, quick=quick)
+        assert first.outliers == second.outliers
+        assert first.network.num_vertices() == second.network.num_vertices()
+        assert first.network.num_edges() == second.network.num_edges()
+
+    def test_different_seeds_differ(self, scenario_instance):
+        """Seeds must actually steer generation (no frozen RNG)."""
+        name = scenario_instance.name
+        first = build_scenario(name, 0, quick=True)
+        second = build_scenario(name, 1, quick=True)
+        assert first.network.num_edges() != second.network.num_edges()
+
+    def test_quick_is_smaller(self, scenario_instance):
+        name = scenario_instance.name
+        quick = build_scenario(name, 0, quick=True)
+        full = build_scenario(name, 0, quick=False)
+        assert quick.network.num_vertices() < full.network.num_vertices()

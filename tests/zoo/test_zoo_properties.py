@@ -1,0 +1,144 @@
+"""Property tests for the detector contract, over every registered detector.
+
+Hypothesis drives the laws the contract docstring promises:
+
+* score vectors always align with the candidate set, finite float64;
+* fixed seed ⇒ bit-identical scores, on arbitrary candidate subsets;
+* vertex relabeling (permuting the corpus's publication insertion order)
+  permutes the scores with it — for every detector whose registry entry
+  declares ``equivariant=True``.  The NMF/k-means-based detectors are
+  registered non-equivariant (their seeded initialization depends on row
+  order) and are exercised on the other laws only.
+
+The shared settings profile in ``tests/conftest.py`` applies (no
+deadline, bounded examples); per-test ``@settings`` only tightens
+``max_examples`` where each example builds networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.synthetic import BibliographicNetworkGenerator, GeneratorConfig
+from repro.metapath.metapath import MetaPath
+from repro.zoo import ZooQuery, available_detectors, get_detector_spec, make_detector
+
+# Tiny corpus: every example builds networks and runs a detector, so the
+# population stays minimal while keeping >1 community (cross-community
+# structure) and enough authors for the k-based detectors.
+_TINY = GeneratorConfig(
+    num_communities=2,
+    authors_per_community=8,
+    venues_per_community=2,
+    terms_per_community=6,
+    common_terms=3,
+    papers_per_community=18,
+    missing_venue_prob=0.0,
+    missing_author_prob=0.0,
+)
+
+FEATURE_PATH = MetaPath.parse("author.paper.venue")
+
+
+def _corpus(corpus_seed: int, permutation_seed: int | None = None):
+    """A tiny network; optionally with publication insertion order shuffled.
+
+    Permuting the publication list relabels paper indices and changes the
+    discovery order (hence indices) of authors/venues/terms — exactly the
+    vertex relabeling the equivariance law quantifies over — while leaving
+    the underlying graph isomorphic.
+    """
+    generator = BibliographicNetworkGenerator(_TINY, seed=corpus_seed)
+    publications = generator.generate_publications()
+    if permutation_seed is not None:
+        order = np.random.default_rng(permutation_seed).permutation(
+            len(publications)
+        )
+        publications = [publications[index] for index in order]
+    return generator.build_network(publications)
+
+
+def _query(network, author_names, seed: int) -> ZooQuery:
+    """A ZooQuery over the given authors, in the given (name) order."""
+    indices = tuple(
+        network.find_vertex("author", name).index for name in author_names
+    )
+    return ZooQuery(
+        member_type="author",
+        candidate_indices=indices,
+        candidate_names=tuple(author_names),
+        feature_path=FEATURE_PATH,
+        candidates_expr="author",
+        anchor=network.find_vertex("author", author_names[0]),
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("detector_name", available_detectors())
+class TestContractLaws:
+    @given(
+        corpus_seed=st.integers(0, 3),
+        query_seed=st.integers(0, 5),
+        subset_seed=st.integers(0, 100),
+    )
+    @settings(max_examples=8)
+    def test_alignment_finiteness_determinism(
+        self, detector_name, corpus_seed, query_seed, subset_seed
+    ):
+        network = _corpus(corpus_seed)
+        names = network.vertex_names("author")
+        # An arbitrary candidate subset (at least 3 so LOF/kNN have peers),
+        # in arbitrary order.
+        rng = np.random.default_rng(subset_seed)
+        size = int(rng.integers(3, len(names) + 1))
+        chosen = [names[i] for i in rng.permutation(len(names))[:size]]
+        query = _query(network, chosen, query_seed)
+
+        detector = make_detector(detector_name).fit(network)
+        scores = detector.decision_scores(query)
+        assert scores.dtype == np.float64
+        assert scores.shape == (len(chosen),)
+        assert np.isfinite(scores).all()
+
+        again = (
+            make_detector(detector_name).fit(network).decision_scores(query)
+        )
+        np.testing.assert_array_equal(scores, again)
+
+    @given(corpus_seed=st.integers(0, 2), permutation_seed=st.integers(0, 50))
+    @settings(max_examples=6)
+    def test_permutation_equivariance(
+        self, detector_name, corpus_seed, permutation_seed
+    ):
+        """Relabeled networks score candidates identically *by name*.
+
+        Both networks contain the same graph with different vertex indices;
+        querying the same author names in the same order must produce the
+        same scores (up to float summation order, hence allclose rather
+        than exact).  Detectors registered ``equivariant=False`` are
+        skipped: their seeded random initialization is index-dependent by
+        construction.
+        """
+        if not get_detector_spec(detector_name).equivariant:
+            pytest.skip(f"{detector_name} is registered non-equivariant")
+        original = _corpus(corpus_seed)
+        relabeled = _corpus(corpus_seed, permutation_seed=permutation_seed)
+        names = sorted(original.vertex_names("author"))
+        assert sorted(relabeled.vertex_names("author")) == names
+
+        scores_original = (
+            make_detector(detector_name)
+            .fit(original)
+            .decision_scores(_query(original, names, seed=0))
+        )
+        scores_relabeled = (
+            make_detector(detector_name)
+            .fit(relabeled)
+            .decision_scores(_query(relabeled, names, seed=0))
+        )
+        np.testing.assert_allclose(
+            scores_original, scores_relabeled, rtol=1e-9, atol=1e-12
+        )
