@@ -93,13 +93,37 @@ def report():
     return write_report
 
 
+def rss_peak_mb() -> float:
+    """This process's lifetime peak resident set size, in MB.
+
+    Reads ``VmHWM`` (the kernel's high-water mark) so the number covers
+    everything since process start — it can only grow, so per-phase
+    attribution needs explicit sampling (see ``bench_outofcore_scale``).
+    Falls back to ``ru_maxrss`` where ``/proc`` is unavailable.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return float(line.split()[1]) / 1024.0
+    except OSError:  # pragma: no cover - non-Linux fallback
+        pass
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
 def write_json_report(name: str, payload: dict) -> None:
     """Persist a machine-readable benchmark baseline under ``benchmarks/out/``.
 
     Text reports are for humans; JSON baselines let CI (and future
-    sessions) diff benchmark results without parsing tables.
+    sessions) diff benchmark results without parsing tables.  Every
+    baseline carries an ``rss_peak_mb`` field so memory regressions are
+    pinned alongside latency (payloads may pre-set a more precise value).
     """
     OUT_DIR.mkdir(exist_ok=True)
+    payload = dict(payload)
+    payload.setdefault("rss_peak_mb", round(rss_peak_mb(), 1))
     (OUT_DIR / f"{name}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

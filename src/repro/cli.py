@@ -280,6 +280,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="exit after serving N HTTP requests (smoke tests)",
     )
+    serve.add_argument(
+        "--storage",
+        choices=("ram", "mmap"),
+        default="ram",
+        help="array tier: 'ram' holds adjacency and index in memory; "
+        "'mmap' spills them to file-backed buffers and (with --strategy "
+        "pm) builds the index out-of-core in bounded row blocks, so "
+        "networks larger than RAM still serve (see docs/scale.md)",
+    )
+    serve.add_argument(
+        "--storage-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for mmap-tier array files and file-backed worker "
+        "segments (a private temp dir when omitted)",
+    )
+    serve.add_argument(
+        "--index-build-block-rows",
+        type=int,
+        default=8192,
+        metavar="N",
+        help="rows per block of the out-of-core index build (with "
+        "--storage mmap); smaller blocks bound peak RAM tighter",
+    )
+    serve.add_argument(
+        "--max-build-memory-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="approximate per-block memory budget for the out-of-core "
+        "index build; shrinks the effective block size when needed",
+    )
 
     route = commands.add_parser(
         "route",
@@ -333,6 +365,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=60.0,
         metavar="SECONDS",
         help="replica result-cache TTL; 0 disables the result cache",
+    )
+    route.add_argument(
+        "--storage",
+        choices=("ram", "mmap"),
+        default="ram",
+        help="array tier of each replica (forwarded to `repro serve`)",
+    )
+    route.add_argument(
+        "--index-build-block-rows",
+        type=int,
+        default=8192,
+        metavar="N",
+        help="out-of-core build block size per replica (with mmap)",
+    )
+    route.add_argument(
+        "--max-build-memory-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="per-block build memory budget per replica (with mmap)",
     )
     # Router knobs.
     route.add_argument(
@@ -669,7 +721,11 @@ def _command_serve(args, out) -> int:
 
     from repro.service import QueryService, ServiceConfig, make_server
 
-    network = _load_network(args.network)
+    storage = getattr(args, "storage", "ram")
+    storage_dir = getattr(args, "storage_dir", None)
+    if not Path(args.network).exists():
+        raise ReproError(f"network file not found: {args.network}")
+    network = load_json(args.network, storage=storage, storage_dir=storage_dir)
     config = ServiceConfig(
         workers=args.workers,
         backend=args.backend,
@@ -683,12 +739,35 @@ def _command_serve(args, out) -> int:
         reindex_min_queries=args.reindex_min_queries,
         admission_log_path=args.admission_log,
         max_index_mb=args.max_index_mb,
+        storage=storage,
+        storage_dir=storage_dir,
+        index_build_block_rows=args.index_build_block_rows,
+        max_build_memory_mb=args.max_build_memory_mb,
     )
+    index = None
+    if storage == "mmap" and args.strategy == "pm":
+        # Build the full PM index out-of-core, in bounded row blocks, and
+        # serve it through read-only file-backed views — the path that
+        # keeps million-vertex networks off the RAM budget entirely.
+        from repro.engine.index import build_pm_index_blocked
+        from repro.hin.storage import MmapArrayStore
+
+        store_dir = None
+        if storage_dir is not None:
+            store_dir = str(Path(storage_dir) / "pm-index")
+            Path(store_dir).mkdir(parents=True, exist_ok=True)
+        index = build_pm_index_blocked(
+            network,
+            block_rows=args.index_build_block_rows,
+            max_build_memory_mb=args.max_build_memory_mb,
+            store=MmapArrayStore(store_dir),
+        )
     service = QueryService.from_network(
         network,
         config,
         strategy=args.strategy,
         measure=args.measure,
+        index=index,
         row_cache_rows=args.row_cache_rows,
         resilience=_resilience_policy(args),
     )
@@ -792,7 +871,13 @@ def _command_route(args, out) -> int:
         str(args.queue_depth),
         "--cache-ttl",
         str(args.cache_ttl),
+        "--storage",
+        args.storage,
+        "--index-build-block-rows",
+        str(args.index_build_block_rows),
     ]
+    if args.max_build_memory_mb is not None:
+        serve_args += ["--max-build-memory-mb", str(args.max_build_memory_mb)]
     commands = ReplicaSupervisor.serve_commands(
         sys.executable, args.network, args.replicas, serve_args=serve_args
     )

@@ -24,8 +24,12 @@ from repro.datagen.synthetic import (
     BibliographicNetworkGenerator,
     EgoNetworkSpec,
     GeneratorConfig,
+    PaperChunk,
+    StreamingCorpusConfig,
     StructuralOutlierCorpus,
     hub_ego_corpus,
+    stream_paper_chunks,
+    streaming_bibliographic_network,
     structural_outlier_corpus,
 )
 from repro.datagen.workloads import generate_query_set, random_author_anchors
@@ -44,6 +48,10 @@ __all__ = [
     "hub_ego_corpus",
     "StructuralOutlierCorpus",
     "structural_outlier_corpus",
+    "StreamingCorpusConfig",
+    "PaperChunk",
+    "stream_paper_chunks",
+    "streaming_bibliographic_network",
     "generate_query_set",
     "random_author_anchors",
     "SecurityNetworkGenerator",

@@ -20,8 +20,16 @@ import numpy as np
 from scipy import sparse
 
 from repro import faultinject
+from repro.engine.deadline import check_deadline
 from repro.exceptions import ExecutionError
 from repro.hin.network import HeterogeneousInformationNetwork
+from repro.hin.storage import (
+    ArrayStore,
+    RamArrayStore,
+    csr_from_buffers,
+    is_store_backed,
+    spill_csr,
+)
 from repro.metapath.materialize import materialize, materialize_row
 from repro.metapath.metapath import MetaPath
 from repro.hin.network import VertexId
@@ -30,9 +38,17 @@ from repro.utils.sparsetools import csr_storage_bytes, sparse_row_bytes
 __all__ = [
     "MetaPathIndex",
     "build_pm_index",
+    "build_pm_index_blocked",
     "build_spm_index",
     "build_spm_index_bounded",
+    "build_spm_index_blocked",
+    "DEFAULT_BUILD_BLOCK_ROWS",
 ]
+
+#: Default row-block width of the out-of-core builders: large enough that
+#: per-block Python overhead vanishes against the sparse products, small
+#: enough that one block of a dense-ish product stays tens of MB.
+DEFAULT_BUILD_BLOCK_ROWS = 8192
 
 
 def _mark_canonical(matrix: sparse.csr_matrix) -> None:
@@ -53,7 +69,15 @@ class MetaPathIndex:
     the strategy layer decides whether to fall back to traversal.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store: "ArrayStore | None" = None) -> None:
+        # Optional storage tier (repro.hin.storage): when set, stored
+        # matrices are spilled to the store's read-only memmap files and
+        # the in-RAM copies dropped — the "mmap" leg of the
+        # storage={ram,mmap} switch.  Matrices whose buffers already live
+        # in a store (the out-of-core builders hand those in) are adopted
+        # as-is.
+        self._store = store
+        self._spill_sequence = 0
         self._full: dict[MetaPath, sparse.csr_matrix] = {}
         self._partial: dict[MetaPath, dict[int, sparse.csr_matrix]] = {}
         # Lazily-built bulk view of a partial store: (stacked row matrix,
@@ -69,9 +93,16 @@ class MetaPathIndex:
     # ------------------------------------------------------------------
     # Population
     # ------------------------------------------------------------------
+    def _spill(self, matrix: sparse.csr_matrix) -> sparse.csr_matrix:
+        if self._store is None or is_store_backed(matrix):
+            return matrix
+        prefix = f"index:spill:{self._spill_sequence}"
+        self._spill_sequence += 1
+        return spill_csr(self._store, prefix, matrix)
+
     def store_full(self, path: MetaPath, matrix: sparse.csr_matrix) -> None:
         """Store the complete count matrix of ``path``."""
-        self._full[path] = matrix.tocsr()
+        self._full[path] = self._spill(matrix.tocsr())
         # A full matrix supersedes any partial rows for the same path.
         self._partial.pop(path, None)
         self._partial_stacked.pop(path, None)
@@ -91,6 +122,66 @@ class MetaPathIndex:
             )
         self._partial.setdefault(path, {})[vertex_index] = csr
         self._partial_stacked.pop(path, None)
+        self._invalidate_coverage(path)
+
+    @staticmethod
+    def _rows_from_stacked(
+        data: np.ndarray,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        vertices: np.ndarray,
+        width: int,
+    ) -> dict[int, sparse.csr_matrix]:
+        """Per-vertex 1 x width row views over stacked CSR buffers (zero-copy)."""
+        store: dict[int, sparse.csr_matrix] = {}
+        for slot, vertex in enumerate(vertices):
+            start, stop = int(indptr[slot]), int(indptr[slot + 1])
+            row = sparse.csr_matrix((1, width), dtype=data.dtype)
+            row.data = data[start:stop]
+            row.indices = indices[start:stop]
+            row.indptr = np.array([0, stop - start], dtype=indptr.dtype)
+            _mark_canonical(row)
+            store[int(vertex)] = row
+        return store
+
+    def install_partial_stacked(
+        self,
+        path: MetaPath,
+        vertices: "np.ndarray | list[int]",
+        stacked: sparse.csr_matrix,
+    ) -> None:
+        """Adopt a pre-stacked partial store: row ``i`` belongs to ``vertices[i]``.
+
+        ``stacked`` must already be canonical (sorted, duplicate-free) —
+        the out-of-core SPM builder canonicalizes each block before
+        spilling, and the buffers may be read-only memmap pages scipy must
+        never sort in place.  When the index has a storage tier the stacked
+        buffers are spilled through it; individual rows become zero-copy
+        views into the (possibly file-backed) stack.
+        """
+        if path in self._full:
+            raise ExecutionError(
+                f"meta-path {path} already has a full matrix; refusing to "
+                "shadow it with partial rows"
+            )
+        csr = stacked.tocsr()
+        _mark_canonical(csr)
+        stored = np.asarray(vertices, dtype=np.int64)
+        if csr.shape[0] != stored.size:
+            raise ExecutionError(
+                f"stacked partial store for {path} has {csr.shape[0]} rows "
+                f"but {stored.size} vertex indices"
+            )
+        csr = self._spill(csr)
+        self._partial[path] = self._rows_from_stacked(
+            csr.data, csr.indices, csr.indptr, stored, csr.shape[1]
+        )
+        if stored.size:
+            inverse = np.full(int(stored.max()) + 1, -1, dtype=np.int64)
+            inverse[stored] = np.arange(stored.size, dtype=np.int64)
+        else:
+            inverse = np.empty(0, dtype=np.int64)
+        self._partial_stacked[path] = (csr, inverse)
         self._invalidate_coverage(path)
 
     def _invalidate_coverage(self, path: MetaPath) -> None:
@@ -303,17 +394,9 @@ class MetaPathIndex:
                 index._full[path] = matrix
             else:
                 vertices = arrays[f"{prefix}:vertices"]
-                width = shape[1]
-                store: dict[int, sparse.csr_matrix] = {}
-                for slot, vertex in enumerate(vertices):
-                    start, stop = int(indptr[slot]), int(indptr[slot + 1])
-                    row = sparse.csr_matrix((1, width), dtype=data.dtype)
-                    row.data = data[start:stop]
-                    row.indices = indices[start:stop]
-                    row.indptr = np.array([0, stop - start], dtype=indptr.dtype)
-                    _mark_canonical(row)
-                    store[int(vertex)] = row
-                index._partial[path] = store
+                index._partial[path] = cls._rows_from_stacked(
+                    data, indices, indptr, vertices, shape[1]
+                )
         return index
 
     def partial_rows(self, path: MetaPath) -> dict[int, sparse.csr_matrix]:
@@ -374,9 +457,19 @@ def _all_length2_paths(network: HeterogeneousInformationNetwork) -> list[MetaPat
     return [MetaPath(types) for types in network.schema.length2_metapaths()]
 
 
-def build_pm_index(network: HeterogeneousInformationNetwork) -> MetaPathIndex:
-    """Materialize every legal length-2 meta-path in full (PM, §6.2)."""
-    index = MetaPathIndex()
+def build_pm_index(
+    network: HeterogeneousInformationNetwork,
+    *,
+    store: "ArrayStore | None" = None,
+) -> MetaPathIndex:
+    """Materialize every legal length-2 meta-path in full (PM, §6.2).
+
+    This is the in-core build: each path's full product is formed in RAM
+    (and spilled afterwards when ``store`` is set).  For graphs whose
+    products do not fit, use :func:`build_pm_index_blocked`, which never
+    holds more than one row block.
+    """
+    index = MetaPathIndex(store=store)
     for path in _all_length2_paths(network):
         faultinject.check("index_build")
         index.store_full(path, materialize(network, path))
@@ -442,3 +535,249 @@ def build_spm_index_bounded(
         total += vertex_bytes
         indexed.append(vertex)
     return index, indexed
+
+
+# ----------------------------------------------------------------------
+# Out-of-core (blocked) builders — the million-vertex tier
+# ----------------------------------------------------------------------
+def _effective_block_rows(
+    a1: sparse.csr_matrix,
+    a2: sparse.csr_matrix,
+    requested: int,
+    max_build_memory_mb: "float | None",
+) -> int:
+    """Shrink the row-block width so one block's product fits the budget.
+
+    The expected non-zeros of one product row is (avg nnz per A1 row) x
+    (avg nnz per A2 row); each kept non-zero costs 16 bytes (float64 value
+    + int64 column) and transiently about double that while the block is
+    canonicalized and appended, hence the 32-byte-per-nnz model.  The
+    estimate is deliberately simple — the budget bounds *expected* block
+    size; pathological hub rows can still spike one block.
+    """
+    if requested < 1:
+        raise ExecutionError(f"block_rows must be >= 1, got {requested}")
+    if max_build_memory_mb is None:
+        return requested
+    budget_bytes = max(1.0, float(max_build_memory_mb)) * (1 << 20)
+    avg1 = a1.nnz / max(1, a1.shape[0])
+    avg2 = a2.nnz / max(1, a2.shape[0])
+    bytes_per_row = max(1.0, avg1 * avg2) * 32.0
+    return int(max(1, min(requested, budget_bytes // bytes_per_row)))
+
+
+def _blocked_segment_product(
+    a1: sparse.csr_matrix,
+    a2: sparse.csr_matrix,
+    *,
+    block_rows: int,
+    store: "ArrayStore | None",
+    prefix: str,
+) -> sparse.csr_matrix:
+    """``A1 @ A2`` computed in row blocks, spilling each completed block.
+
+    Peak memory is one block's product (plus the append copy), not the
+    whole matrix: a block is formed, canonicalized, its CSR triple
+    appended (``indptr`` rebased by the running non-zero count), and
+    dropped.  Because CSR matmul is row-wise independent, the concatenated
+    rows are exactly the rows of the in-core product — the value buffers
+    are byte-identical, which is what keeps scores byte-identical across
+    in-core and out-of-core builds.
+
+    Every block passes the ``index_build`` fault point and the cooperative
+    deadline, so the out-of-core build honors the same interruption
+    machinery as the rest of the engine.
+    """
+    target = store if store is not None else RamArrayStore()
+    rows, width = a1.shape[0], a2.shape[1]
+    data_out = target.appender(f"{prefix}:data", np.float64)
+    indices_out = target.appender(f"{prefix}:indices", np.int64)
+    indptr_out = target.appender(f"{prefix}:indptr", np.int64)
+    indptr_out.append(np.zeros(1, dtype=np.int64))
+    nnz = 0
+    for start in range(0, rows, block_rows):
+        faultinject.check("index_build")
+        check_deadline("out-of-core index build")
+        block = (a1[start:start + block_rows] @ a2).tocsr()
+        block.sum_duplicates()
+        block.sort_indices()
+        data_out.append(block.data.astype(np.float64, copy=False))
+        indices_out.append(block.indices.astype(np.int64, copy=False))
+        indptr_out.append(block.indptr[1:].astype(np.int64) + nnz)
+        nnz += int(block.nnz)
+    return csr_from_buffers(
+        data_out.finalize(),
+        indices_out.finalize(),
+        indptr_out.finalize(),
+        (rows, width),
+    )
+
+
+def build_pm_index_blocked(
+    network: HeterogeneousInformationNetwork,
+    *,
+    block_rows: int = DEFAULT_BUILD_BLOCK_ROWS,
+    max_build_memory_mb: "float | None" = None,
+    store: "ArrayStore | None" = None,
+    paths: "Iterable[MetaPath] | None" = None,
+) -> MetaPathIndex:
+    """Out-of-core PM build: every length-2 product streamed in row blocks.
+
+    The million-vertex counterpart of :func:`build_pm_index`: instead of
+    forming each full product in RAM, length-2 segment products are
+    computed ``block_rows`` rows at a time and each completed block is
+    spilled to ``store`` (a :class:`repro.hin.storage.MmapArrayStore` for
+    the mmap tier) before the next is formed.  ``max_build_memory_mb``
+    shrinks the block width when a product's expected density would blow
+    the per-block budget.
+
+    When ``store`` is a persistent mmap store the finished index is
+    **published atomically**: array files carry no meaning until the
+    store's manifest is committed (written last, via the ``io`` fault
+    point), so an interrupted build is invisible to
+    :func:`repro.engine.index_io.load_index_mmap`.
+
+    Index contents are byte-identical to the in-core build's (after
+    canonicalization) and scores computed from them are byte-identical,
+    because blocked CSR products concatenate to exactly the in-core rows.
+    """
+    index = MetaPathIndex()
+    entries: list[dict] = []
+    target_paths = sorted(
+        paths if paths is not None else _all_length2_paths(network),
+        key=lambda p: p.types,
+    )
+    for position, path in enumerate(target_paths):
+        a1 = network.adjacency(path.types[0], path.types[1])
+        a2 = network.adjacency(path.types[1], path.types[2])
+        effective = _effective_block_rows(a1, a2, block_rows, max_build_memory_mb)
+        prefix = f"index:full:{position}"
+        matrix = _blocked_segment_product(
+            a1, a2, block_rows=effective, store=store, prefix=prefix
+        )
+        index.store_full(path, matrix)
+        entries.append(
+            {
+                "kind": "full",
+                "types": list(path.types),
+                "shape": [int(s) for s in matrix.shape],
+                "prefix": prefix,
+            }
+        )
+    if store is not None:
+        store.commit({"index": {"entries": entries}})
+    return index
+
+
+def _selection_rows(
+    network: HeterogeneousInformationNetwork,
+    path: MetaPath,
+    vertex_indices: np.ndarray,
+) -> sparse.csr_matrix:
+    """Rows ``φ_path(v)`` for a batch of source vertices via selection-gather."""
+    width = network.num_vertices(path.source)
+    count = int(vertex_indices.size)
+    product: sparse.csr_matrix = sparse.csr_matrix(
+        (
+            np.ones(count, dtype=np.float64),
+            (np.arange(count, dtype=np.int64), vertex_indices),
+        ),
+        shape=(count, width),
+    )
+    for left, right in zip(path.types, path.types[1:]):
+        product = product @ network.adjacency(left, right)
+    product = product.tocsr()
+    product.sum_duplicates()
+    product.sort_indices()
+    return product
+
+
+def build_spm_index_blocked(
+    network: HeterogeneousInformationNetwork,
+    ranked_vertices: Iterable[VertexId],
+    *,
+    max_bytes: "int | None" = None,
+    block_rows: int = DEFAULT_BUILD_BLOCK_ROWS,
+    store: "ArrayStore | None" = None,
+) -> tuple[MetaPathIndex, list[VertexId]]:
+    """Out-of-core SPM build: bounded blocks, same admission as the bounded build.
+
+    Semantically identical to :func:`build_spm_index_bounded` — vertices
+    are admitted hottest-first, all-or-nothing, and the build stops at the
+    first vertex that does not fit ``max_bytes`` — but rows are computed a
+    block at a time with one selection-gather product per (type, path)
+    instead of one vector-matrix chain per vertex, and the finished rows
+    are stacked per path and spilled to ``store`` instead of held as
+    thousands of row objects.  Returns ``(index, indexed_vertices)``.
+    """
+    faultinject.check("index_build")
+    ranked = list(ranked_vertices)
+    paths_by_source: dict[str, list[MetaPath]] = {}
+    for path in _all_length2_paths(network):
+        paths_by_source.setdefault(path.source, []).append(path)
+
+    admitted: list[VertexId] = []
+    rows_per_path: dict[MetaPath, list[tuple[int, sparse.csr_matrix]]] = {}
+    total = 0
+    exhausted = False
+    for block_start in range(0, len(ranked), max(1, block_rows)):
+        if exhausted:
+            break
+        block = ranked[block_start:block_start + max(1, block_rows)]
+        faultinject.check("index_build")
+        check_deadline("out-of-core SPM build")
+        by_type: dict[str, list[int]] = {}
+        for position, vertex in enumerate(block):
+            by_type.setdefault(vertex.type, []).append(position)
+        block_rows_map: dict[int, list[tuple[MetaPath, sparse.csr_matrix]]] = {
+            position: [] for position in range(len(block))
+        }
+        for vertex_type, positions in by_type.items():
+            indices = np.asarray(
+                [block[position].index for position in positions], dtype=np.int64
+            )
+            for path in paths_by_source.get(vertex_type, []):
+                gathered = _selection_rows(network, path, indices)
+                for slot, position in enumerate(positions):
+                    block_rows_map[position].append(
+                        (path, gathered.getrow(slot))
+                    )
+        for position, vertex in enumerate(block):
+            rows = block_rows_map[position]
+            vertex_bytes = sum(
+                sparse_row_bytes(int(row.nnz)) for _, row in rows
+            )
+            if max_bytes is not None and total + vertex_bytes > max_bytes:
+                exhausted = True
+                break
+            for path, row in rows:
+                rows_per_path.setdefault(path, []).append((vertex.index, row))
+            total += vertex_bytes
+            admitted.append(vertex)
+
+    index = MetaPathIndex()
+    entries: list[dict] = []
+    for position, path in enumerate(
+        sorted(rows_per_path, key=lambda p: p.types)
+    ):
+        pairs = rows_per_path[path]
+        vertices = np.asarray([vertex for vertex, _ in pairs], dtype=np.int64)
+        stacked = sparse.vstack([row for _, row in pairs], format="csr")
+        stacked.sum_duplicates()
+        stacked.sort_indices()
+        if store is not None:
+            prefix = f"index:partial:{position}"
+            stacked = spill_csr(store, prefix, stacked)
+            store.put(f"{prefix}:vertices", vertices)
+            entries.append(
+                {
+                    "kind": "partial",
+                    "types": list(path.types),
+                    "shape": [int(s) for s in stacked.shape],
+                    "prefix": prefix,
+                }
+            )
+        index.install_partial_stacked(path, vertices, stacked)
+    if store is not None:
+        store.commit({"index": {"entries": entries}})
+    return index, admitted

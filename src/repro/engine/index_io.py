@@ -31,9 +31,10 @@ from scipy import sparse
 from repro import faultinject
 from repro.engine.index import MetaPathIndex
 from repro.exceptions import ExecutionError
+from repro.hin.storage import MmapArrayStore
 from repro.metapath.metapath import MetaPath
 
-__all__ = ["save_index", "load_index"]
+__all__ = ["save_index", "load_index", "load_index_mmap"]
 
 _MANIFEST_NAME = "manifest.json"
 _FORMAT_VERSION = 1
@@ -218,3 +219,37 @@ def load_index(directory: str | Path) -> MetaPathIndex:
         for row_position, vertex_index in enumerate(vertex_indices):
             index.store_row(path, int(vertex_index), stacked.getrow(row_position))
     return index
+
+
+def load_index_mmap(directory: str | Path) -> MetaPathIndex:
+    """Attach an index published by an out-of-core (blocked) build, zero-copy.
+
+    The blocked builders (:func:`repro.engine.index.build_pm_index_blocked`
+    and :func:`~repro.engine.index.build_spm_index_blocked`) spill CSR
+    buffers into a :class:`repro.hin.storage.MmapArrayStore` and commit its
+    manifest **last** — the same write-data-then-manifest discipline as
+    :func:`save_index`.  This loader therefore sees either a complete
+    published index or nothing: a directory holding only the data files of
+    an interrupted build raises a typed error, never a partial index.
+
+    The returned index reads the on-disk files directly through read-only
+    ``np.memmap`` views (no load-time copy).
+
+    Raises
+    ------
+    ExecutionError
+        When no committed manifest exists, or the manifest/data are
+        inconsistent.
+    """
+    store = MmapArrayStore.open(directory)
+    manifest = store.extra.get("index")
+    if not isinstance(manifest, dict) or "entries" not in manifest:
+        raise ExecutionError(
+            f"array store at {directory} holds no published index manifest"
+        )
+    try:
+        return MetaPathIndex.from_arrays(manifest, store.arrays())
+    except (KeyError, TypeError, ValueError) as error:
+        raise ExecutionError(
+            f"corrupt out-of-core index at {directory}: {error!r}"
+        ) from error

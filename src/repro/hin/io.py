@@ -78,8 +78,18 @@ def network_to_dict(network: HeterogeneousInformationNetwork) -> dict:
     }
 
 
-def network_from_dict(data: dict) -> HeterogeneousInformationNetwork:
-    """Deserialize a network produced by :func:`network_to_dict`."""
+def network_from_dict(
+    data: dict,
+    *,
+    storage: str = "ram",
+    storage_dir: "str | None" = None,
+) -> HeterogeneousInformationNetwork:
+    """Deserialize a network produced by :func:`network_to_dict`.
+
+    ``storage="mmap"`` rebuilds adjacency into read-only memmap files (see
+    :mod:`repro.hin.storage`) — the ``repro serve --storage mmap`` load
+    path for networks larger than comfortable RAM.
+    """
     version = data.get("format_version")
     if version != _FORMAT_VERSION:
         raise NetworkError(f"unsupported network format version: {version!r}")
@@ -90,7 +100,9 @@ def network_from_dict(data: dict) -> HeterogeneousInformationNetwork:
         schema.add_edge_type(
             entry["source"], entry["target"], symmetric=entry["symmetric"]
         )
-    network = HeterogeneousInformationNetwork(schema)
+    network = HeterogeneousInformationNetwork(
+        schema, storage=storage, storage_dir=storage_dir
+    )
     for vertex_type, records in data["vertices"].items():
         for record in records:
             network.add_vertex(vertex_type, record["name"], record.get("attributes"))
@@ -108,10 +120,17 @@ def save_json(network: HeterogeneousInformationNetwork, path: str | Path) -> Non
         json.dump(payload, handle)
 
 
-def load_json(path: str | Path) -> HeterogeneousInformationNetwork:
+def load_json(
+    path: str | Path,
+    *,
+    storage: str = "ram",
+    storage_dir: "str | None" = None,
+) -> HeterogeneousInformationNetwork:
     """Read a network previously written by :func:`save_json`."""
     with open(path, "r", encoding="utf-8") as handle:
-        return network_from_dict(json.load(handle))
+        return network_from_dict(
+            json.load(handle), storage=storage, storage_dir=storage_dir
+        )
 
 
 def write_edge_list(network: HeterogeneousInformationNetwork, handle: TextIO) -> int:

@@ -27,6 +27,7 @@ from scipy import sparse
 
 from repro.exceptions import NetworkError, VertexNotFoundError
 from repro.hin.schema import EdgeType, NetworkSchema
+from repro.hin.storage import ArrayStore, make_store, spill_csr
 
 __all__ = ["VertexId", "Vertex", "HeterogeneousInformationNetwork"]
 
@@ -95,8 +96,26 @@ class HeterogeneousInformationNetwork:
     1
     """
 
-    def __init__(self, schema: NetworkSchema) -> None:
+    def __init__(
+        self,
+        schema: NetworkSchema,
+        *,
+        storage: str = "ram",
+        storage_dir: "str | None" = None,
+    ) -> None:
         self._schema = schema
+        # Storage tier for adjacency buffers: "ram" keeps CSR arrays on the
+        # heap (historical behavior); "mmap" spills every rebuilt matrix to
+        # read-only np.memmap files so resident memory tracks the working
+        # set, not the graph size.  See repro.hin.storage.
+        if storage not in ("ram", "mmap"):
+            raise NetworkError(
+                f"unknown storage mode {storage!r}; expected 'ram' or 'mmap'"
+            )
+        self._storage = storage
+        self._store: ArrayStore | None = (
+            make_store(storage, storage_dir) if storage != "ram" else None
+        )
         # Per-type registries.
         self._names: dict[str, list[str]] = {t: [] for t in schema.vertex_types}
         self._name_index: dict[str, dict[str, int]] = {t: {} for t in schema.vertex_types}
@@ -125,6 +144,8 @@ class HeterogeneousInformationNetwork:
         *,
         num_edges: int = 0,
         version: int = 0,
+        storage: str = "ram",
+        storage_dir: "str | None" = None,
     ) -> "HeterogeneousInformationNetwork":
         """Wrap pre-built adjacency matrices in a read-only network.
 
@@ -135,8 +156,14 @@ class HeterogeneousInformationNetwork:
         a rebuild are empty here and the underlying buffers are shared
         read-only pages.  ``version`` should carry the source network's
         mutation counter so result-cache keys agree across processes.
+
+        With ``storage="mmap"`` each installed matrix is spilled to the
+        network's memmap store and replaced by a read-only file-backed
+        view, freeing the in-RAM copy — the path the streaming generator
+        and the out-of-core bench use to hold 1M+-vertex adjacency at a
+        bounded resident footprint.
         """
-        network = cls(schema)
+        network = cls(schema, storage=storage, storage_dir=storage_dir)
         for vertex_type, type_names in names.items():
             if not schema.has_vertex_type(vertex_type):
                 raise NetworkError(
@@ -166,7 +193,12 @@ class HeterogeneousInformationNetwork:
                     f"adjacency for {source}-{target} has shape "
                     f"{tuple(matrix.shape)}, expected {expected}"
                 )
-            network._adjacency[EdgeType(source, target)] = matrix
+            edge_type = EdgeType(source, target)
+            if network._store is not None:
+                matrix = spill_csr(
+                    network._store, f"adj:{source}:{target}", matrix.tocsr()
+                )
+            network._adjacency[edge_type] = matrix
         network._num_edges = num_edges
         network._version = version
         network._frozen = True
@@ -178,6 +210,37 @@ class HeterogeneousInformationNetwork:
     @property
     def schema(self) -> NetworkSchema:
         return self._schema
+
+    @property
+    def storage(self) -> str:
+        """The adjacency storage tier: ``"ram"`` or ``"mmap"``."""
+        return self._storage
+
+    def copy_with_storage(
+        self, storage: str, storage_dir: "str | None" = None
+    ) -> "HeterogeneousInformationNetwork":
+        """A frozen copy of this network on a different storage tier.
+
+        Every registered edge type's adjacency is (re)built and handed to
+        :meth:`from_prebuilt`, which spills to memmap files when
+        ``storage="mmap"``.  Vertex registries are copied; the result is
+        read-only.  The parity harness uses this to run the same graph
+        through both tiers and assert byte-identical scores.
+        """
+        adjacency = {
+            (et.source, et.target): self.adjacency(et.source, et.target)
+            for et in self._schema.edge_types
+        }
+        return type(self).from_prebuilt(
+            self._schema,
+            self._names,
+            self._attributes,
+            adjacency,
+            num_edges=self._num_edges,
+            version=self._version,
+            storage=storage,
+            storage_dir=storage_dir,
+        )
 
     def add_vertex(
         self,
@@ -406,6 +469,14 @@ class HeterogeneousInformationNetwork:
         # Duplicate COO entries are summed by tocsr(), which is exactly the
         # parallel-edge-count semantics we want.
         matrix.sum_duplicates()
+        if self._store is not None:
+            # mmap tier: the freshly built matrix moves to read-only
+            # file-backed buffers; the heap copy is dropped.  A later
+            # rebuild of the same edge type re-spills and retires the old
+            # files.
+            matrix = spill_csr(
+                self._store, f"adj:{edge_type.source}:{edge_type.target}", matrix
+            )
         self._adjacency[edge_type] = matrix
         self._dirty.discard(edge_type)
 

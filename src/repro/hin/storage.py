@@ -1,0 +1,420 @@
+"""Array storage tiers for the HIN substrate: RAM and ``np.memmap``-backed.
+
+Everything above this module (adjacency matrices, PM/SPM index buffers)
+stores flat numpy arrays.  At AMiner scale (millions of vertices, 10⁸+
+non-zeros) those buffers no longer fit comfortably in RAM, so the network
+and index grow a ``storage={ram,mmap}`` switch backed by the two
+:class:`ArrayStore` implementations here:
+
+* :class:`RamArrayStore` — plain in-process arrays, the historical default.
+* :class:`MmapArrayStore` — one raw little-endian binary file per array in
+  a directory, reopened as **read-only** ``np.memmap`` views.  The kernel
+  pages data in on demand and evicts it under pressure, so resident memory
+  tracks the working set instead of the total index size.
+
+Writes never go through a writable memmap: spilling dirties pages that
+count against RSS until the kernel writes them back.  Instead arrays are
+written with buffered file I/O (in bounded chunks, so a spill of a 10 GB
+buffer needs ~16 MB of transient heap) and then reopened ``mode="r"``.
+
+The mmap store doubles as the out-of-core index builder's **atomic
+publish** target: data files carry no meaning until :meth:`~MmapArrayStore.
+commit` writes ``manifest.json`` (to a temp sibling, then ``os.replace`` —
+the same manifest-written-last discipline as :mod:`repro.engine.index_io`).
+:meth:`MmapArrayStore.open` refuses a directory without a committed
+manifest, so an interrupted build is invisible, never half-loaded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterable, Mapping
+
+import numpy as np
+from scipy import sparse
+
+from repro import faultinject
+from repro.exceptions import ExecutionError, NetworkError
+
+__all__ = [
+    "ArrayStore",
+    "RamArrayStore",
+    "MmapArrayStore",
+    "make_store",
+    "spill_csr",
+    "STORAGE_MODES",
+]
+
+#: Recognized values of every ``storage=`` switch in the HIN/engine layers.
+STORAGE_MODES = ("ram", "mmap")
+
+_MANIFEST_NAME = "manifest.json"
+_FORMAT_VERSION = 1
+
+#: Spill chunk size: bounds the transient heap used while writing one array
+#: out (and while copying one back in), independent of the array's size.
+_CHUNK_BYTES = 16 << 20
+
+
+def _require_1d(array: np.ndarray, key: str) -> np.ndarray:
+    flat = np.ascontiguousarray(array)
+    if flat.ndim != 1:
+        raise ExecutionError(
+            f"array store holds flat 1-D buffers; {key!r} has shape {flat.shape}"
+        )
+    return flat
+
+
+class ArrayAppender:
+    """Incremental writer for one array: ``append`` chunks, then ``finalize``.
+
+    The out-of-core index builder streams block products through this —
+    each completed row block is appended and released, so peak memory is
+    one block, not one matrix.
+    """
+
+    def append(self, chunk: np.ndarray) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def finalize(self) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class ArrayStore:
+    """Named flat-array storage behind the ``storage={ram,mmap}`` switch."""
+
+    storage: str = "ram"
+
+    def put(self, key: str, array: np.ndarray) -> np.ndarray:
+        """Store ``array`` under ``key``; returns the view to use from now on."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def get(self, key: str) -> np.ndarray:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def keys(self) -> list[str]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def appender(self, key: str, dtype: np.dtype) -> ArrayAppender:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def commit(self, extra: Mapping | None = None) -> None:
+        """Publish the store's contents (a no-op for the RAM tier)."""
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Materialize the full ``key -> array`` map (views, not copies)."""
+        return {key: self.get(key) for key in self.keys()}
+
+
+class _RamAppender(ArrayAppender):
+    __slots__ = ("_store", "_key", "_dtype", "_chunks")
+
+    def __init__(self, store: "RamArrayStore", key: str, dtype: np.dtype) -> None:
+        self._store = store
+        self._key = key
+        self._dtype = np.dtype(dtype)
+        self._chunks: list[np.ndarray] = []
+
+    def append(self, chunk: np.ndarray) -> None:
+        self._chunks.append(
+            _require_1d(chunk, self._key).astype(self._dtype, copy=False)
+        )
+
+    def finalize(self) -> np.ndarray:
+        if self._chunks:
+            merged = np.concatenate(self._chunks)
+        else:
+            merged = np.empty(0, dtype=self._dtype)
+        self._chunks = []
+        return self._store.put(self._key, merged)
+
+
+class RamArrayStore(ArrayStore):
+    """The in-RAM tier: arrays stay exactly where they are."""
+
+    storage = "ram"
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def put(self, key: str, array: np.ndarray) -> np.ndarray:
+        flat = _require_1d(array, key)
+        self._arrays[key] = flat
+        return flat
+
+    def get(self, key: str) -> np.ndarray:
+        try:
+            return self._arrays[key]
+        except KeyError:
+            raise ExecutionError(f"array store has no array named {key!r}") from None
+
+    def keys(self) -> list[str]:
+        return list(self._arrays)
+
+    def appender(self, key: str, dtype: np.dtype) -> ArrayAppender:
+        return _RamAppender(self, key, dtype)
+
+
+class _MmapAppender(ArrayAppender):
+    __slots__ = ("_store", "_key", "_dtype", "_path", "_handle", "_count")
+
+    def __init__(
+        self, store: "MmapArrayStore", key: str, dtype: np.dtype, path: Path
+    ) -> None:
+        self._store = store
+        self._key = key
+        self._dtype = np.dtype(dtype)
+        self._path = path
+        self._handle = open(path, "wb")
+        self._count = 0
+
+    def append(self, chunk: np.ndarray) -> None:
+        flat = _require_1d(chunk, self._key).astype(self._dtype, copy=False)
+        step = max(1, _CHUNK_BYTES // max(1, flat.itemsize))
+        for start in range(0, flat.size, step):
+            # Slice-then-tobytes keeps the transient copy one chunk wide no
+            # matter how large the source array is.
+            self._handle.write(flat[start:start + step].tobytes())
+        self._count += flat.size
+
+    def finalize(self) -> np.ndarray:
+        self._handle.close()
+        return self._store._register(
+            self._key, self._path, self._dtype, (self._count,)
+        )
+
+
+class MmapArrayStore(ArrayStore):
+    """Directory of raw binary array files reopened as read-only memmaps.
+
+    Parameters
+    ----------
+    directory:
+        Where array files live.  ``None`` creates a private temporary
+        directory that is removed when the store is garbage-collected (the
+        ephemeral case: an mmap-tier network whose adjacency should not
+        outlive the process).  An explicit directory is left on disk — the
+        persistent case, paired with :meth:`commit` / :meth:`open`.
+    """
+
+    storage = "mmap"
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self._tempdir: tempfile.TemporaryDirectory | None = None
+        if directory is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-mmap-")
+            directory = self._tempdir.name
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        # key -> (file name, dtype, shape).  File names are sequential so
+        # arbitrary key strings (they contain ':') never fight the
+        # filesystem, and a re-put never clobbers a file a live memmap
+        # still reads.
+        self._entries: dict[str, tuple[str, np.dtype, tuple[int, ...]]] = {}
+        self._views: dict[str, np.ndarray] = {}
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # Construction from a committed directory
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, directory: str | Path) -> "MmapArrayStore":
+        """Attach to a directory previously published with :meth:`commit`.
+
+        Raises
+        ------
+        ExecutionError
+            When no committed manifest exists (e.g. an interrupted build
+            left only data files) or the manifest/data are inconsistent.
+        """
+        root = Path(directory)
+        manifest_path = root / _MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ExecutionError(
+                f"no committed array-store manifest at {manifest_path} — "
+                "the store was never published (or a build was interrupted)"
+            )
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
+            raise ExecutionError(
+                f"corrupt array-store manifest at {manifest_path}: {error}"
+            ) from error
+        if not isinstance(manifest, dict) or manifest.get("format_version") != _FORMAT_VERSION:
+            raise ExecutionError(
+                f"unsupported array-store manifest at {manifest_path}"
+            )
+        store = cls(root)
+        try:
+            for key, entry in manifest["arrays"].items():
+                dtype = np.dtype(entry["dtype"])
+                shape = tuple(int(s) for s in entry["shape"])
+                file_path = root / entry["file"]
+                expected = int(np.prod(shape)) * dtype.itemsize if shape else 0
+                if shape and shape[0] and not file_path.exists():
+                    raise ExecutionError(
+                        f"array-store data file missing: {file_path}"
+                    )
+                if shape and shape[0] and file_path.stat().st_size != expected:
+                    raise ExecutionError(
+                        f"array-store data file {file_path} has "
+                        f"{file_path.stat().st_size} bytes, expected {expected}"
+                    )
+                store._entries[key] = (entry["file"], dtype, shape)
+            store._extra = dict(manifest.get("extra", {}))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ExecutionError(
+                f"corrupt array-store manifest at {manifest_path}: {error!r}"
+            ) from error
+        store._sequence = len(store._entries)
+        return store
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def _next_file(self) -> Path:
+        name = f"array_{self._sequence:05d}.bin"
+        self._sequence += 1
+        return self._directory / name
+
+    def _register(
+        self, key: str, path: Path, dtype: np.dtype, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        previous = self._entries.get(key)
+        self._entries[key] = (path.name, dtype, shape)
+        self._views.pop(key, None)
+        if previous is not None and previous[0] != path.name:
+            # A re-put (e.g. an adjacency rebuild after mutation) retires
+            # the old file.  Live memmaps keep reading the unlinked inode.
+            try:
+                (self._directory / previous[0]).unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        return self.get(key)
+
+    def put(self, key: str, array: np.ndarray) -> np.ndarray:
+        flat = _require_1d(array, key)
+        appender = self.appender(key, flat.dtype)
+        appender.append(flat)
+        return appender.finalize()
+
+    def appender(self, key: str, dtype: np.dtype) -> ArrayAppender:
+        return _MmapAppender(self, key, np.dtype(dtype), self._next_file())
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> np.ndarray:
+        view = self._views.get(key)
+        if view is not None:
+            return view
+        entry = self._entries.get(key)
+        if entry is None:
+            raise ExecutionError(f"array store has no array named {key!r}")
+        file_name, dtype, shape = entry
+        if not shape or shape[0] == 0:
+            view = np.empty(shape or (0,), dtype=dtype)
+        else:
+            view = np.memmap(
+                self._directory / file_name, dtype=dtype, mode="r", shape=shape
+            )
+        self._views[key] = view
+        return view
+
+    def keys(self) -> list[str]:
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+    # Atomic publish
+    # ------------------------------------------------------------------
+    @property
+    def extra(self) -> dict:
+        """Application payload recorded at :meth:`commit` time."""
+        return getattr(self, "_extra", {})
+
+    def commit(self, extra: Mapping | None = None) -> None:
+        """Publish the store: write ``manifest.json`` atomically, last.
+
+        Until this runs, :meth:`open` refuses the directory — data files
+        written by an interrupted build are invisible.  Goes through the
+        ``io`` fault point like every other index write.
+        """
+        manifest = {
+            "format_version": _FORMAT_VERSION,
+            "arrays": {
+                key: {
+                    "file": file_name,
+                    "dtype": np.dtype(dtype).str,
+                    "shape": [int(s) for s in shape],
+                }
+                for key, (file_name, dtype, shape) in self._entries.items()
+            },
+            "extra": dict(extra or {}),
+        }
+        self._extra = dict(extra or {})
+        faultinject.check("io")
+        temp = self._directory / (_MANIFEST_NAME + ".tmp")
+        temp.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+        os.replace(temp, self._directory / _MANIFEST_NAME)
+
+
+def make_store(storage: str, directory: str | Path | None = None) -> ArrayStore:
+    """Instantiate the store behind a ``storage={ram,mmap}`` switch value."""
+    if storage == "ram":
+        return RamArrayStore()
+    if storage == "mmap":
+        return MmapArrayStore(directory)
+    raise NetworkError(
+        f"unknown storage mode {storage!r}; expected one of {STORAGE_MODES}"
+    )
+
+
+def spill_csr(
+    store: ArrayStore, prefix: str, matrix: sparse.csr_matrix
+) -> sparse.csr_matrix:
+    """Move a CSR matrix's buffers into ``store``; returns the store-backed view.
+
+    The matrix is canonicalized first (sorted, duplicate-free) so the
+    returned view can be flagged canonical — scipy must never attempt an
+    in-place ``sort_indices`` on a read-only memmap.
+    """
+    csr = matrix.tocsr()
+    csr.sum_duplicates()
+    csr.sort_indices()
+    data = store.put(f"{prefix}:data", csr.data)
+    indices = store.put(f"{prefix}:indices", csr.indices)
+    indptr = store.put(f"{prefix}:indptr", csr.indptr)
+    return csr_from_buffers(data, indices, indptr, csr.shape)
+
+
+def csr_from_buffers(
+    data: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    shape: Iterable[int],
+) -> sparse.csr_matrix:
+    """Adopt pre-canonical buffers as a CSR matrix without copying.
+
+    Used for store-backed (memmap) and shared-memory buffers alike; the
+    canonical flags are set up front because the buffers may be read-only.
+    """
+    matrix = sparse.csr_matrix(tuple(int(s) for s in shape), dtype=data.dtype)
+    matrix.data, matrix.indices, matrix.indptr = data, indices, indptr
+    matrix.has_sorted_indices = True
+    matrix.has_canonical_format = True
+    return matrix
+
+
+def is_store_backed(matrix: sparse.spmatrix) -> bool:
+    """True when a matrix's buffers already live in a memmap store."""
+    return sparse.issparse(matrix) and isinstance(
+        getattr(matrix, "data", None), np.memmap
+    )

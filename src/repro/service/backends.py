@@ -385,6 +385,13 @@ class ProcessBackend(ExecutionBackend):
     max_restarts:
         Crash-replacement budget **per worker slot**; beyond it the slot is
         retired (prevents a crash-looping query from forking forever).
+    segment_backing:
+        ``"shm"`` exports the index into POSIX shared memory (/dev/shm);
+        ``"file"`` writes an ordinary file under ``segment_dir`` and maps it
+        read-only — the route for indexes larger than the tmpfs budget.
+    segment_dir:
+        Directory for file-backed segments (a temp dir when ``None``);
+        ignored for ``"shm"``.
     """
 
     name = "process"
@@ -397,13 +404,22 @@ class ProcessBackend(ExecutionBackend):
         timeout_seconds: float | None = None,
         start_timeout_seconds: float = 120.0,
         max_restarts: int = 3,
+        segment_backing: str = "shm",
+        segment_dir: str | None = None,
     ) -> None:
         self.handle = handle
         self._timeout_seconds = timeout_seconds
         self._max_restarts = max_restarts
+        self._segment_backing = segment_backing
+        self._segment_dir = segment_dir
         self._ctx = multiprocessing.get_context("spawn")
         spec, arrays = handle.export_shared()
-        self._segment = shm.export_arrays(arrays, name_hint="repro-serve")
+        self._segment = shm.export_arrays(
+            arrays,
+            name_hint="repro-serve",
+            backing=segment_backing,
+            directory=segment_dir,
+        )
         self._spec = spec
         self._lock = threading.Lock()
         self._accepting = True
@@ -707,7 +723,12 @@ class ProcessBackend(ExecutionBackend):
            under a worker that may still be serving from it.
         """
         spec, arrays = self.handle.export_shared()
-        new_segment = shm.export_arrays(arrays, name_hint="repro-serve")
+        new_segment = shm.export_arrays(
+            arrays,
+            name_hint="repro-serve",
+            backing=self._segment_backing,
+            directory=self._segment_dir,
+        )
         with self._lock:
             if self._closed or not self._accepting:
                 new_segment.close()
@@ -867,6 +888,8 @@ def make_backend(
     backend: str,
     workers: int,
     timeout_seconds: float | None = None,
+    segment_backing: str = "shm",
+    segment_dir: str | None = None,
 ) -> ExecutionBackend:
     """Instantiate the configured execution backend."""
     if backend == "thread":
@@ -875,6 +898,10 @@ def make_backend(
         )
     if backend == "process":
         return ProcessBackend(
-            handle, workers=workers, timeout_seconds=timeout_seconds
+            handle,
+            workers=workers,
+            timeout_seconds=timeout_seconds,
+            segment_backing=segment_backing,
+            segment_dir=segment_dir,
         )
     raise ServiceError(f"unknown execution backend {backend!r}")

@@ -98,6 +98,23 @@ class ServiceConfig:
         Byte budget (MiB) for adaptively rebuilt SPM indexes; vertices are
         admitted hottest-first until the budget is exhausted (``None`` =
         unbounded, like the paper's static build).
+    storage:
+        Array storage tier: ``"ram"`` (default) keeps adjacency and index
+        buffers on the heap; ``"mmap"`` spills them to read-only
+        ``np.memmap`` files (see :mod:`repro.hin.storage`) and the process
+        backend exports **file-backed** segments instead of ``/dev/shm``
+        ones, so one copy of a many-GB index lives on disk rather than in
+        RAM-backed tmpfs.
+    storage_dir:
+        Directory for mmap-tier array files and file-backed segments
+        (``None`` = a private temp dir).
+    index_build_block_rows:
+        Row-block width of the out-of-core PM/SPM index builders used when
+        ``storage="mmap"``.
+    max_build_memory_mb:
+        Optional per-block memory budget for the out-of-core build; blocks
+        shrink below ``index_build_block_rows`` when a product's expected
+        density would exceed it (``None`` = no shrink).
     """
 
     workers: int = 4
@@ -114,6 +131,10 @@ class ServiceConfig:
     admission_log_entries: int = 4096
     admission_log_path: str | None = None
     max_index_mb: float | None = None
+    storage: str = "ram"
+    storage_dir: str | None = None
+    index_build_block_rows: int = 8192
+    max_build_memory_mb: float | None = None
 
     def __post_init__(self) -> None:
         if self.workers == 0:
@@ -166,6 +187,30 @@ class ServiceConfig:
             raise ServiceError(
                 f"max_index_mb must be positive or None, got {self.max_index_mb}"
             )
+        if self.storage not in ("ram", "mmap"):
+            raise ServiceError(
+                f"storage must be 'ram' or 'mmap', got {self.storage!r}"
+            )
+        if self.index_build_block_rows < 1:
+            raise ServiceError(
+                "index_build_block_rows must be >= 1, got "
+                f"{self.index_build_block_rows}"
+            )
+        if self.max_build_memory_mb is not None and self.max_build_memory_mb <= 0:
+            raise ServiceError(
+                "max_build_memory_mb must be positive or None, got "
+                f"{self.max_build_memory_mb}"
+            )
+
+    @property
+    def segment_backing(self) -> str:
+        """Transport of the process backend's shared segment.
+
+        The mmap storage tier pairs with file-backed segments — the whole
+        point is keeping the one shared index copy out of RAM-backed
+        ``/dev/shm``.
+        """
+        return "file" if self.storage == "mmap" else "shm"
 
     @property
     def capacity(self) -> int:

@@ -139,6 +139,8 @@ class QueryService:
             backend=self.config.backend,
             workers=self.config.workers,
             timeout_seconds=self.config.timeout_seconds,
+            segment_backing=self.config.segment_backing,
+            segment_dir=self.config.storage_dir,
         )
         if self.config.adaptive:
             self.reindexer = Reindexer(
@@ -171,16 +173,24 @@ class QueryService:
         strategy: str = "pm",
         measure: str = "netout",
         combine: str = "score",
+        index=None,
         resilience: "ResiliencePolicy | None" = None,
         row_cache_rows: int = 4096,
     ) -> "QueryService":
-        """Build the engine handle and the service in one call."""
+        """Build the engine handle and the service in one call.
+
+        ``index`` forwards a prebuilt :class:`~repro.engine.index.MetaPathIndex`
+        (e.g. one attached from an out-of-core build via
+        :func:`repro.engine.index_io.load_index_mmap`) so the handle serves
+        it instead of rebuilding in RAM.
+        """
         config = config if config is not None else ServiceConfig()
         handle = EngineHandle(
             network,
             strategy=strategy,
             measure=measure,
             combine=combine,
+            index=index,
             resilience=resilience,
             row_cache_rows=row_cache_rows,
             collect_stats=config.collect_stats,

@@ -1,0 +1,231 @@
+"""Out-of-core (blocked) PM/SPM index builds: parity, crash safety, limits.
+
+The blocked builders must be *invisible* semantically: byte-identical
+index contents and scores versus the in-core builders, whatever the block
+size, storage tier, or interruption point.  Crash safety leans on the
+array store's write-data-then-manifest discipline — an interrupted build
+leaves a directory :func:`~repro.engine.index_io.load_index_mmap` refuses
+with a typed error, never a partial index.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import faultinject
+from repro.datagen.synthetic import (
+    StreamingCorpusConfig,
+    streaming_bibliographic_network,
+)
+from repro.engine.deadline import Deadline, deadline_scope
+from repro.engine.index import (
+    build_pm_index,
+    build_pm_index_blocked,
+    build_spm_index_blocked,
+    build_spm_index_bounded,
+)
+from repro.engine.index_io import load_index_mmap
+from repro.exceptions import (
+    DeadlineExceededError,
+    ExecutionError,
+    TransientFaultError,
+)
+from repro.hin.network import VertexId
+from repro.hin.storage import MmapArrayStore
+
+CONFIG = StreamingCorpusConfig(
+    num_papers=400,
+    num_authors=150,
+    num_venues=12,
+    num_terms=90,
+    chunk_papers=170,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return streaming_bibliographic_network(CONFIG, seed=11)
+
+
+def _bytes_of(matrix):
+    csr = matrix.tocsr().copy()
+    csr.sum_duplicates()
+    csr.sort_indices()
+    return (
+        csr.data.tobytes(),
+        csr.indices.astype(np.int64).tobytes(),
+        csr.indptr.astype(np.int64).tobytes(),
+        csr.shape,
+    )
+
+
+def _assert_same_index(left, right):
+    assert set(map(str, left.paths)) == set(map(str, right.paths))
+    for path in left.paths:
+        full_l, full_r = left.full_matrix(path), right.full_matrix(path)
+        if full_l is not None:
+            assert _bytes_of(full_l) == _bytes_of(full_r)
+            continue
+        rows_l, rows_r = left.partial_rows(path), right.partial_rows(path)
+        assert sorted(rows_l) == sorted(rows_r)
+        for vertex in rows_l:
+            assert _bytes_of(rows_l[vertex]) == _bytes_of(rows_r[vertex])
+
+
+class TestBlockedPmParity:
+    @pytest.mark.parametrize("block_rows", [1, 7, 64, 100_000])
+    def test_blocked_matches_incore(self, network, block_rows):
+        incore = build_pm_index(network)
+        blocked = build_pm_index_blocked(network, block_rows=block_rows)
+        _assert_same_index(incore, blocked)
+
+    def test_blocked_to_mmap_store_roundtrips(self, network, tmp_path):
+        incore = build_pm_index(network)
+        store_dir = str(tmp_path / "pm")
+        build_pm_index_blocked(
+            network, block_rows=37, store=MmapArrayStore(store_dir)
+        )
+        reloaded = load_index_mmap(store_dir)
+        _assert_same_index(incore, reloaded)
+        # The reload serves file-backed views, not copies.
+        some_path = next(iter(reloaded.paths))
+        assert isinstance(reloaded.full_matrix(some_path).data, np.memmap)
+
+    def test_invalid_block_rows_rejected(self, network):
+        with pytest.raises(ExecutionError):
+            build_pm_index_blocked(network, block_rows=0)
+
+    def test_memory_budget_shrinks_blocks(self, network, tmp_path):
+        # A tiny budget must still complete — it clamps the block size down
+        # to one row, never to zero — and stay byte-identical.
+        incore = build_pm_index(network)
+        squeezed = build_pm_index_blocked(
+            network, block_rows=100_000, max_build_memory_mb=0.001
+        )
+        _assert_same_index(incore, squeezed)
+
+
+class TestBlockedSpmParity:
+    @pytest.mark.parametrize("budget", [None, 60_000])
+    def test_bounded_matches_blocked(self, network, budget, tmp_path):
+        ranked = [VertexId("author", i) for i in range(25)] + [
+            VertexId("venue", 0)
+        ]
+        bounded, admitted = build_spm_index_bounded(
+            network, ranked, max_bytes=budget
+        )
+        blocked, admitted_blocked = build_spm_index_blocked(
+            network,
+            ranked,
+            max_bytes=budget,
+            block_rows=4,
+            store=MmapArrayStore(str(tmp_path / "spm")),
+        )
+        assert admitted == admitted_blocked
+        _assert_same_index(bounded, blocked)
+
+    def test_spm_store_roundtrips(self, network, tmp_path):
+        ranked = [VertexId("author", i) for i in range(10)]
+        store_dir = str(tmp_path / "spm")
+        blocked, admitted = build_spm_index_blocked(
+            network, ranked, store=MmapArrayStore(store_dir)
+        )
+        reloaded = load_index_mmap(store_dir)
+        _assert_same_index(blocked, reloaded)
+        assert admitted == ranked
+
+
+class TestCrashSafety:
+    """An interrupted build must be invisible through the atomic load path."""
+
+    def _assert_invisible(self, store_dir):
+        assert not os.path.exists(os.path.join(store_dir, "manifest.json"))
+        with pytest.raises(ExecutionError, match="never published|interrupted"):
+            MmapArrayStore.open(store_dir)
+        with pytest.raises(ExecutionError):
+            load_index_mmap(store_dir)
+
+    @pytest.mark.parametrize("after_calls", [1, 5, 11])
+    def test_midblock_fault_leaves_no_index(self, network, tmp_path, after_calls):
+        store_dir = str(tmp_path / "pm")
+        with faultinject.inject(
+            faultinject.FaultRule(
+                point="index_build", times=1, after_calls=after_calls
+            )
+        ):
+            with pytest.raises(TransientFaultError):
+                build_pm_index_blocked(
+                    network, block_rows=50, store=MmapArrayStore(store_dir)
+                )
+        self._assert_invisible(store_dir)
+
+    def test_commit_io_fault_leaves_no_index(self, network, tmp_path):
+        # Every write before the manifest may have succeeded; failing the
+        # manifest publish itself must still leave nothing visible.
+        store_dir = str(tmp_path / "pm")
+        # First count how many io checks a clean build performs, then fail
+        # exactly the last one (the manifest write).
+        probe_dir = str(tmp_path / "probe")
+        with faultinject.inject(
+            faultinject.FaultRule(point="io", probability=0.0)
+        ) as injector:
+            build_pm_index_blocked(
+                network, block_rows=50, store=MmapArrayStore(probe_dir)
+            )
+            io_calls = injector.calls["io"]
+        assert io_calls >= 1
+
+        with faultinject.inject(
+            faultinject.FaultRule(
+                point="io", times=1, after_calls=io_calls - 1
+            )
+        ):
+            with pytest.raises(TransientFaultError):
+                build_pm_index_blocked(
+                    network, block_rows=50, store=MmapArrayStore(store_dir)
+                )
+        self._assert_invisible(store_dir)
+
+    def test_spm_midblock_fault_leaves_no_index(self, network, tmp_path):
+        store_dir = str(tmp_path / "spm")
+        ranked = [VertexId("author", i) for i in range(20)]
+        with faultinject.inject(
+            faultinject.FaultRule(point="index_build", times=1, after_calls=2)
+        ):
+            with pytest.raises(TransientFaultError):
+                build_spm_index_blocked(
+                    network,
+                    ranked,
+                    block_rows=3,
+                    store=MmapArrayStore(store_dir),
+                )
+        self._assert_invisible(store_dir)
+
+    def test_interrupted_then_retried_build_succeeds(self, network, tmp_path):
+        store_dir = str(tmp_path / "pm")
+        with faultinject.inject(
+            faultinject.FaultRule(point="index_build", times=1, after_calls=3)
+        ):
+            with pytest.raises(TransientFaultError):
+                build_pm_index_blocked(
+                    network, block_rows=50, store=MmapArrayStore(store_dir)
+                )
+        # Retrying into the same directory publishes a complete index.
+        build_pm_index_blocked(
+            network, block_rows=50, store=MmapArrayStore(store_dir)
+        )
+        _assert_same_index(build_pm_index(network), load_index_mmap(store_dir))
+
+
+class TestDeadline:
+    def test_blocked_build_honors_ambient_deadline(self, network, tmp_path):
+        store_dir = str(tmp_path / "pm")
+        with deadline_scope(Deadline(0.0)):
+            with pytest.raises(DeadlineExceededError):
+                build_pm_index_blocked(
+                    network, block_rows=10, store=MmapArrayStore(store_dir)
+                )
+        assert not os.path.exists(os.path.join(store_dir, "manifest.json"))

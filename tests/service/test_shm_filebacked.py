@@ -1,0 +1,111 @@
+"""File-backed shared segments: the mmap-tier alternative to /dev/shm.
+
+POSIX shared memory lives in a tmpfs whose budget (typically half of RAM)
+is exactly what the large-graph tier is trying to escape; ``backing="file"``
+writes the same 64-byte-aligned segment layout to an ordinary file and maps
+it read-only.  These tests pin the contract: identical views, pickling
+manifests across processes, tamper detection, cleanup, and the process
+backend running end to end on file-backed segments.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import shm
+
+
+def _arrays():
+    return {
+        "a:data": np.arange(11, dtype=np.float64),
+        "a:indices": np.arange(11, dtype=np.int32),
+        "empty": np.empty(0, dtype=np.float64),
+    }
+
+
+class TestFileBackedSegments:
+    def test_export_attach_roundtrip(self, tmp_path):
+        segment = shm.export_arrays(
+            _arrays(), name_hint="t", backing="file", directory=str(tmp_path)
+        )
+        try:
+            assert os.path.exists(segment.manifest.segment)
+            assert segment.manifest.backing == "file"
+            # The manifest travels by pickle (spawn-context worker args).
+            manifest = pickle.loads(pickle.dumps(segment.manifest))
+            attached, views = shm.attach_arrays(manifest)
+            np.testing.assert_array_equal(views["a:data"], _arrays()["a:data"])
+            assert views["empty"].size == 0
+            with pytest.raises((ValueError, TypeError)):
+                views["a:data"][0] = 99.0  # read-only mapping
+            del views
+            attached.close()
+        finally:
+            segment.close()
+            segment.unlink()
+        assert not os.path.exists(segment.manifest.segment)
+
+    def test_attach_missing_file_raises(self, tmp_path):
+        segment = shm.export_arrays(
+            _arrays(), name_hint="t", backing="file", directory=str(tmp_path)
+        )
+        manifest = segment.manifest
+        segment.close()
+        segment.unlink()
+        with pytest.raises(ServiceError, match="gone"):
+            shm.attach_arrays(manifest)
+
+    def test_tamper_detection(self, tmp_path):
+        segment = shm.export_arrays(
+            _arrays(), name_hint="t", backing="file", directory=str(tmp_path)
+        )
+        try:
+            path = segment.manifest.segment
+            with open(path, "r+b") as handle:
+                handle.seek(0)
+                handle.write(b"\xff\xff\xff\xff")
+            with pytest.raises(ServiceError, match="fingerprint"):
+                shm.attach_arrays(segment.manifest)
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_invalid_backing_rejected(self):
+        with pytest.raises(ServiceError, match="backing"):
+            shm.export_arrays(_arrays(), backing="carrier-pigeon")
+
+    def test_legacy_manifest_defaults_to_shm(self):
+        segment = shm.export_arrays(_arrays(), name_hint="t")
+        try:
+            assert segment.manifest.backing == "shm"
+            attached, views = shm.attach_arrays(segment.manifest)
+            np.testing.assert_array_equal(views["a:data"], _arrays()["a:data"])
+            del views
+            attached.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+class TestServiceConfigStorage:
+    def test_segment_backing_derivation(self):
+        from repro.service.config import ServiceConfig
+
+        assert ServiceConfig().segment_backing == "shm"
+        assert ServiceConfig(storage="mmap").segment_backing == "file"
+
+    def test_invalid_storage_rejected(self):
+        from repro.exceptions import ServiceError
+        from repro.service.config import ServiceConfig
+
+        with pytest.raises(ServiceError):
+            ServiceConfig(storage="tape")
+        with pytest.raises(ServiceError):
+            ServiceConfig(index_build_block_rows=0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(max_build_memory_mb=-1.0)
